@@ -1,0 +1,109 @@
+// Ablation — queue discipline at the tight link: drop-tail vs RED.
+//
+// The paper's Fig. 7 discussion lists "amount of buffering in the tight
+// link" among the factors that decouple TCP throughput from the avail-bw.
+// This ablation varies the buffering policy itself: for the same path and
+// cross traffic, a bulk TCP transfer runs over a drop-tail queue and over
+// RED, and we report throughput, standing queue (=> RTT inflation), and
+// loss mix.  Avail-bw is identical in both runs; what an application
+// experiences is not.
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/moments.hpp"
+#include "tcp/tcp.hpp"
+#include "traffic/poisson.hpp"
+
+using namespace abw;
+
+namespace {
+
+struct Outcome {
+  double throughput_bps = 0.0;
+  double mean_backlog_pkts = 0.0;
+  std::uint64_t congestion_drops = 0;
+  std::uint64_t red_drops = 0;
+};
+
+Outcome run(sim::QueueDiscipline disc, std::uint64_t seed) {
+  sim::Simulator simu;
+  sim::LinkConfig cfg;
+  cfg.capacity_bps = 30e6;
+  cfg.propagation_delay = 10 * sim::kMillisecond;
+  cfg.queue_limit_bytes = 200 * 1500;
+  cfg.discipline = disc;
+  cfg.red.min_threshold_bytes = 15 * 1500;
+  cfg.red.max_threshold_bytes = 60 * 1500;
+  cfg.red.max_drop_prob = 0.1;
+  cfg.red.ewma_weight = 0.01;
+  sim::Path path(simu, {cfg});
+
+  sim::TypeDemux demux;
+  tcp::TcpReceiverHub hub;
+  demux.register_handler(sim::PacketType::kTcpData, &hub);
+  path.set_receiver(&demux);
+
+  traffic::PoissonGenerator cross(simu, path, 0, false, 99, stats::Rng(seed),
+                                  10e6, traffic::SizeDistribution::fixed(1500));
+  cross.start(0, 120 * sim::kSecond);
+
+  tcp::TcpConfig tc;
+  tc.receiver_window = 512;
+  tcp::TcpConnection conn(simu, path, hub, 1, tc);
+  conn.start(sim::kSecond);
+
+  stats::RunningStats backlog;
+  for (sim::SimTime t = 2 * sim::kSecond; t <= 40 * sim::kSecond;
+       t += 20 * sim::kMillisecond) {
+    simu.run_until(t);
+    backlog.add(static_cast<double>(path.link(0).backlog_bytes()) / 1500.0);
+  }
+
+  Outcome out;
+  out.throughput_bps = conn.throughput_bps(simu.now());
+  out.mean_backlog_pkts = backlog.mean();
+  out.congestion_drops = path.link(0).stats().packets_dropped;
+  out.red_drops = path.link(0).stats().packets_red_dropped;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::print_header(std::cout, "Ablation: tight-link queue discipline",
+                     "Jain & Dovrolis IMC'04, Fig. 7 buffering discussion");
+  std::printf("workload: 30 Mbps link, 10 Mbps Poisson cross, bulk TCP with "
+              "large window, 40 s\n\n");
+
+  Outcome tail = run(sim::QueueDiscipline::kDropTail, 4);
+  Outcome red = run(sim::QueueDiscipline::kRed, 4);
+
+  core::Table table({"discipline", "TCP throughput", "mean backlog",
+                     "tail drops", "RED drops"});
+  char b1[32], b2[32];
+  std::snprintf(b1, sizeof b1, "%.1f pkts", tail.mean_backlog_pkts);
+  std::snprintf(b2, sizeof b2, "%.1f pkts", red.mean_backlog_pkts);
+  table.row({"drop-tail", core::mbps(tail.throughput_bps), b1,
+             std::to_string(tail.congestion_drops),
+             std::to_string(tail.red_drops)});
+  table.row({"RED", core::mbps(red.throughput_bps), b2,
+             std::to_string(red.congestion_drops),
+             std::to_string(red.red_drops)});
+  table.print(std::cout);
+
+  bool shorter_queue = red.mean_backlog_pkts < 0.7 * tail.mean_backlog_pkts;
+  bool comparable_tput = red.throughput_bps > 0.7 * tail.throughput_bps;
+  core::print_check(
+      std::cout,
+      "the amount (and policy) of buffering at the tight link changes what "
+      "TCP experiences even though the avail-bw is identical",
+      "RED holds a much shorter standing queue at comparable throughput — "
+      "same avail-bw, different TCP reality",
+      shorter_queue && comparable_tput);
+  std::printf("\nimplication: avail-bw alone cannot predict TCP throughput; "
+              "buffering policy\nis one of the paper's listed confounders.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation — what detects "Ri > A" better: the Ro/Ri rate ratio or the
+// PCT/PDT OWD-trend statistics?
+//
+// The paper's eighth misconception (Fig. 5) is precisely about FALSE
+// ALARMS: a single cross-traffic burst near the end of a stream depresses
+// Ro below Ri even though Ri < A, so a rate-ratio detector cries
+// congestion; the OWD series shows no increasing trend, so the trend
+// statistics do not.  We therefore score the detectors on two axes over
+// bursty (Pareto ON-OFF) cross traffic:
+//
+//   * false-alarm rate:  P(detector says "Ri > A")  at Ri in {17.5,20,22.5}
+//   * detection rate:    P(detector says "Ri > A")  at Ri in {27.5,30,32.5}
+//
+// A good detector has high detection AND low false alarms.  Ambiguous
+// trend verdicts are neither (the tool re-probes).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "stats/trend.hpp"
+
+using namespace abw;
+
+namespace {
+
+struct Sample {
+  double ratio;
+  std::vector<double> owds;
+  bool above;
+};
+
+struct Rates {
+  int alarms_below = 0, n_below = 0;  // false alarms
+  int alarms_above = 0, n_above = 0;  // detections
+  double false_alarm() const {
+    return n_below ? static_cast<double>(alarms_below) / n_below : 0.0;
+  }
+  double detection() const {
+    return n_above ? static_cast<double>(alarms_above) / n_above : 0.0;
+  }
+};
+
+void tally(Rates& r, bool says_above, bool truly_above) {
+  if (truly_above) {
+    ++r.n_above;
+    if (says_above) ++r.alarms_above;
+  } else {
+    ++r.n_below;
+    if (says_above) ++r.alarms_below;
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::print_header(std::cout,
+                     "Ablation: OWD trend statistics vs the Ro/Ri ratio",
+                     "Jain & Dovrolis IMC'04, eighth misconception / Fig. 5");
+  std::printf("workload: single hop Ct=50, A=25 Mbps, Pareto ON-OFF cross;\n"
+              "160-packet streams, 150 per rate; below-A rates {17.5, 20, "
+              "22.5},\nabove-A rates {27.5, 30, 32.5}\n\n");
+
+  core::SingleHopConfig cfg;
+  cfg.model = core::CrossModel::kParetoOnOff;
+  cfg.seed = 8;
+  auto sc = core::Scenario::single_hop(cfg);
+
+  std::vector<Sample> samples;
+  for (double ri : {17.5e6, 20e6, 22.5e6, 27.5e6, 30e6, 32.5e6}) {
+    for (int s = 0; s < 150; ++s) {
+      auto res = core::capture_stream(sc, ri, 1500, 160);
+      if (!res.complete()) continue;
+      samples.push_back({res.rate_ratio(), res.owds_seconds(),
+                         ri > sc.nominal_avail_bw()});
+    }
+  }
+
+  Rates r96, r99, pct, pdt, combined;
+  for (const auto& s : samples) {
+    tally(r96, s.ratio < 0.96, s.above);
+    tally(r99, s.ratio < 0.99, s.above);
+    tally(pct, stats::pct_trend(s.owds) == stats::Trend::kIncreasing, s.above);
+    tally(pdt, stats::pdt_trend(s.owds) == stats::Trend::kIncreasing, s.above);
+    tally(combined, stats::combined_trend(s.owds) == stats::Trend::kIncreasing,
+          s.above);
+  }
+
+  core::Table table({"detector", "detection (Ri>A)", "false alarms (Ri<A)"});
+  table.row({"Ro/Ri < 0.99", core::pct(r99.detection()), core::pct(r99.false_alarm())});
+  table.row({"Ro/Ri < 0.96", core::pct(r96.detection()), core::pct(r96.false_alarm())});
+  table.row({"PCT trend", core::pct(pct.detection()), core::pct(pct.false_alarm())});
+  table.row({"PDT trend", core::pct(pdt.detection()), core::pct(pdt.false_alarm())});
+  table.row({"PCT+PDT combined", core::pct(combined.detection()),
+             core::pct(combined.false_alarm())});
+  table.print(std::cout);
+
+  // The paper's precise claim (Fig. 5's lower stream): when a burst fools
+  // the rate ratio on a below-avail-bw stream, the OWD series still shows
+  // no increasing trend.  Count, among the below-A streams that the
+  // Ro/Ri < 0.99 detector flags as congested, how many the trend test
+  // correctly declines to flag.
+  int fooled = 0, rescued = 0;
+  for (const auto& s : samples) {
+    if (s.above || s.ratio >= 0.99) continue;
+    ++fooled;
+    if (stats::combined_trend(s.owds) != stats::Trend::kIncreasing) ++rescued;
+  }
+  double rescue_rate = fooled ? static_cast<double>(rescued) / fooled : 0.0;
+  std::printf("\nburst-fooled below-A streams (Ro/Ri < 0.99 though Ri < A): %d\n"
+              "  of these, trend statistics correctly see no congestion: %d "
+              "(%s)\n",
+              fooled, rescued, core::pct(rescue_rate).c_str());
+
+  core::print_check(
+      std::cout,
+      "a below-avail-bw stream can show Ro < Ri after a cross burst, yet "
+      "carry no increasing OWD trend — the OWD series holds more "
+      "information than the single Ro/Ri number",
+      "the trend statistics overturn the majority of the rate-ratio's "
+      "burst-induced false alarms (" + core::pct(rescue_rate) + ")",
+      fooled > 10 && rescue_rate > 0.6);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks of the simulation kernel (google-benchmark): event
+// scheduling throughput, link forwarding, utilization-meter queries, and
+// a full probing round trip.  These bound how large the paper-scale
+// experiments (500-stream curves, multi-minute TCP runs) can get.
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.hpp"
+#include "probe/stream_spec.hpp"
+#include "sim/link.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/poisson.hpp"
+
+namespace {
+
+using namespace abw;
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simu;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i)
+      simu.at(i, [&fired] { ++fired; });
+    simu.run_until_idle();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_LinkForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simu;
+    sim::LinkConfig cfg;
+    cfg.capacity_bps = 1e9;
+    sim::Path path(simu, {cfg});
+    sim::CountingSink sink;
+    path.set_receiver(&sink);
+    for (int i = 0; i < 5000; ++i) {
+      sim::Packet p;
+      p.size_bytes = 1500;
+      simu.at(i * 100, [&path, p] { path.inject(0, p); });
+    }
+    simu.run_until_idle();
+    benchmark::DoNotOptimize(sink.packets());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_LinkForwarding);
+
+void BM_MeterWindowQuery(benchmark::State& state) {
+  sim::UtilizationMeter meter(100e6);
+  sim::SimTime t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    meter.add_busy(t, t + 120, i % 3 == 0);
+    t += 250;
+  }
+  sim::SimTime horizon = t;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    sim::SimTime t1 = (q * 7919) % (horizon / 2);
+    benchmark::DoNotOptimize(meter.cross_avail_bw(t1, t1 + horizon / 3));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeterWindowQuery);
+
+void BM_PoissonTrafficSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simu;
+    sim::LinkConfig cfg;
+    cfg.capacity_bps = 100e6;
+    sim::Path path(simu, {cfg});
+    sim::CountingSink sink;
+    path.set_receiver(&sink);
+    traffic::PoissonGenerator gen(simu, path, 0, false, 1, stats::Rng(1), 50e6,
+                                  traffic::SizeDistribution::fixed(1500));
+    gen.start(0, sim::kSecond);
+    simu.run_until(sim::kSecond);
+    benchmark::DoNotOptimize(sink.packets());
+  }
+}
+BENCHMARK(BM_PoissonTrafficSecond);
+
+void BM_ProbeStreamRoundTrip(benchmark::State& state) {
+  core::SingleHopConfig cfg;
+  auto sc = core::Scenario::single_hop(cfg);
+  auto spec = probe::StreamSpec::periodic(40e6, 1500, 100);
+  for (auto _ : state) {
+    auto res = sc.session().send_stream_now(spec);
+    benchmark::DoNotOptimize(res.output_rate_bps());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ProbeStreamRoundTrip);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the statistics primitives (google-benchmark): FFT,
+// fGn synthesis, trend statistics, and regression — the per-stream and
+// per-trace costs every estimator pays.
+#include <benchmark/benchmark.h>
+
+#include "stats/fft.hpp"
+#include "stats/fgn.hpp"
+#include "stats/hurst.hpp"
+#include "stats/regression.hpp"
+#include "stats/rng.hpp"
+#include "stats/trend.hpp"
+
+namespace {
+
+using namespace abw::stats;
+
+void BM_Fft(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::complex<double>> base(n);
+  for (auto& v : base) v = {rng.normal(), 0.0};
+  for (auto _ : state) {
+    auto x = base;
+    fft(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FgnSynthesis(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    auto x = generate_fgn(n, 0.8, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FgnSynthesis)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_TrendCombined(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> owds;
+  for (int i = 0; i < 160; ++i) owds.push_back(1e-5 * i + 1e-4 * rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combined_trend(owds));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrendCombined);
+
+void BM_HurstVarianceTime(benchmark::State& state) {
+  Rng rng(4);
+  auto x = generate_fgn(1 << 14, 0.8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hurst_variance_time(x));
+  }
+}
+BENCHMARK(BM_HurstVarianceTime);
+
+void BM_LinearFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + rng.normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear_fit(xs, ys));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinearFit);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Adaptive application driven by continuous avail-bw monitoring — the
+// paper's Section 4 integration question made concrete.
+//
+// A 50 Mb/s path carries 15 Mb/s of Poisson cross traffic; at t = 20 s a
+// second source turns on and the avail-bw drops from 35 to 15 Mb/s.  An
+// AvailBwMonitor tracks the path once per second, and a simulated
+// adaptive video encoder picks its ladder rung at ~80% of the tracked
+// estimate.  The printout shows the step change, the monitor's response
+// time, and the bitrate adaptation.
+#include <cstdio>
+#include <iostream>
+
+#include "core/monitor.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "stats/cusum.hpp"
+#include "traffic/poisson.hpp"
+
+using namespace abw;
+
+namespace {
+
+/// Highest ladder rung not exceeding 80% of the estimate.
+double pick_bitrate(double estimate_bps) {
+  static const double kLadder[] = {2e6, 4e6, 8e6, 12e6, 16e6, 24e6, 32e6};
+  double chosen = kLadder[0];
+  for (double rung : kLadder)
+    if (rung <= 0.8 * estimate_bps) chosen = rung;
+  return chosen;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<sim::LinkConfig> links(1);
+  links[0].capacity_bps = 50e6;
+  links[0].propagation_delay = sim::kMillisecond;
+  auto sc = core::Scenario::custom(links, 77);
+
+  // Base load 15 Mb/s for the whole run; extra 20 Mb/s from t = 20 s.
+  traffic::PoissonGenerator base(sc.simulator(), sc.path(), 0, false, 1,
+                                 sc.rng().fork(), 15e6,
+                                 traffic::SizeDistribution::fixed(1500));
+  base.start(0, 60 * sim::kSecond);
+  traffic::PoissonGenerator surge(sc.simulator(), sc.path(), 0, false, 2,
+                                  sc.rng().fork(), 20e6,
+                                  traffic::SizeDistribution::fixed(1500));
+  surge.start(20 * sim::kSecond, 60 * sim::kSecond);
+  sc.simulator().run_until(2 * sim::kSecond);
+
+  std::printf("50 Mbps path; cross traffic 15 Mbps, +20 Mbps at t=20s\n"
+              "(avail-bw steps 35 -> 15 Mbps)\n\n");
+
+  core::MonitorConfig mc;
+  mc.min_rate_bps = 2e6;
+  mc.max_rate_bps = 48e6;
+  mc.period = sim::kSecond;
+  mc.pathload.streams_per_fleet = 4;   // lightweight tracker fleets
+  mc.pathload.packets_per_stream = 60;
+  core::AvailBwMonitor monitor(sc, mc);
+
+  auto series = monitor.run_until(40 * sim::kSecond);
+
+  core::Table table({"t", "ground truth", "monitor estimate", "video bitrate"});
+  for (const auto& r : series) {
+    if (static_cast<int>(sim::to_seconds(r.at)) % 3 != 0) continue;  // thin out
+    char t[16];
+    std::snprintf(t, sizeof t, "%.0f s", sim::to_seconds(r.at));
+    table.row({t, core::mbps(r.ground_truth_bps), core::mbps(r.estimate_bps),
+               core::mbps(pick_bitrate(r.estimate_bps))});
+  }
+  table.print(std::cout);
+
+  // How long did the monitor take to settle after the step?
+  double settle_at = -1.0;
+  for (const auto& r : series) {
+    if (r.at < 20 * sim::kSecond) continue;
+    if (std::abs(r.estimate_bps - 15e6) < 4e6) {
+      settle_at = sim::to_seconds(r.at);
+      break;
+    }
+  }
+  if (settle_at > 0)
+    std::printf("\nmonitor settled within 4 Mbps of the new avail-bw %.1f s "
+                "after the step.\n",
+                settle_at - 20.0);
+  else
+    std::printf("\nmonitor did not settle within the run.\n");
+
+  // Offline change-point analysis of the monitor's own time series —
+  // the "level shift" detection the paper's OWD discussion calls for.
+  std::vector<double> estimates;
+  for (const auto& r : series) estimates.push_back(r.estimate_bps);
+  if (auto shift = stats::detect_level_shift(estimates)) {
+    std::printf("CUSUM level-shift detector: %s shift at reading %zu "
+                "(t = %.0f s)\n",
+                shift->upward ? "upward" : "downward", shift->at,
+                sim::to_seconds(series[shift->at].at));
+  }
+  std::printf("each reading cost 2 fleets x %zu streams x %zu packets.\n",
+              mc.pathload.streams_per_fleet, mc.pathload.packets_per_stream);
+  return 0;
+}

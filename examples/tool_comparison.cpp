@@ -1,0 +1,127 @@
+// Tool comparison under identical, reproducible conditions — the paper's
+// closing recommendation ("compare and evaluate the existing estimation
+// techniques under reproducible and controllable conditions, and with the
+// same configuration parameters").
+//
+// Runs every implemented technique on the same three paths (fluid-like
+// CBR, Poisson, heavy-tailed Pareto ON-OFF cross traffic) and prints the
+// estimate, error against ground truth, probing overhead, and latency.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "est/bfind.hpp"
+#include "est/direct.hpp"
+#include "est/igi_ptr.hpp"
+#include "est/pathchirp.hpp"
+#include "est/pathload.hpp"
+#include "est/spruce.hpp"
+#include "est/topp.hpp"
+
+using namespace abw;
+
+namespace {
+
+std::vector<std::unique_ptr<est::Estimator>> make_tools(double ct,
+                                                        stats::Rng& rng) {
+  std::vector<std::unique_ptr<est::Estimator>> tools;
+
+  est::DirectConfig dc;
+  dc.tight_capacity_bps = ct;
+  tools.push_back(std::make_unique<est::DirectProber>(dc));
+
+  est::SpruceConfig sc;
+  sc.tight_capacity_bps = ct;
+  tools.push_back(std::make_unique<est::Spruce>(sc, rng.fork()));
+
+  est::ToppConfig tc;
+  tc.min_rate_bps = 0.1 * ct;
+  tc.max_rate_bps = 0.96 * ct;
+  tc.rate_step_bps = 0.04 * ct;
+  tools.push_back(std::make_unique<est::Topp>(tc, rng.fork()));
+
+  est::PathloadConfig pc;
+  pc.min_rate_bps = 0.04 * ct;
+  pc.max_rate_bps = 0.98 * ct;
+  tools.push_back(std::make_unique<est::Pathload>(pc));
+
+  est::PathChirpConfig cc;
+  cc.low_rate_bps = 0.08 * ct;
+  cc.packets_per_chirp = 22;
+  tools.push_back(std::make_unique<est::PathChirp>(cc));
+
+  est::IgiPtrConfig ic;
+  ic.tight_capacity_bps = ct;
+  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kIgi));
+  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kPtr));
+
+  est::BfindConfig bc;
+  bc.initial_rate_bps = 0.1 * ct;
+  bc.rate_step_bps = 0.05 * ct;
+  bc.max_rate_bps = 1.2 * ct;
+  bc.step_duration = 300 * sim::kMillisecond;
+  tools.push_back(std::make_unique<est::Bfind>(bc));
+  return tools;
+}
+
+void run_on(core::CrossModel model, std::uint64_t seed) {
+  core::SingleHopConfig cfg;
+  cfg.model = model;
+  cfg.seed = seed;
+  auto sc = core::Scenario::single_hop(cfg);
+
+  std::printf("\n--- cross traffic: %s (Ct = %s, A = %s) ---\n",
+              core::to_string(model), core::mbps(cfg.capacity_bps).c_str(),
+              core::mbps(sc.nominal_avail_bw()).c_str());
+
+  core::Table table({"tool", "class", "estimate", "error", "packets", "latency"});
+  for (auto& tool : make_tools(cfg.capacity_bps, sc.rng())) {
+    auto before = sc.session().cost();
+    est::Estimate e = tool->estimate(sc.session());
+    auto after = sc.session().cost();
+    std::uint64_t pkts = after.packets - before.packets;
+    double latency = sim::to_seconds(after.last_activity) -
+                     sim::to_seconds(before.last_activity);
+
+    std::string estimate, error;
+    if (e.valid) {
+      if (e.low_bps == e.high_bps) {
+        estimate = core::mbps(e.point_bps());
+      } else {
+        estimate = "[" + core::mbps(e.low_bps) + ", " + core::mbps(e.high_bps) + "]";
+      }
+      double truth = sc.nominal_avail_bw();
+      error = core::pct((e.point_bps() - truth) / truth);
+    } else {
+      estimate = "(invalid)";
+      error = "-";
+    }
+    char lat[32];
+    std::snprintf(lat, sizeof lat, "%.2f s", latency);
+    table.row({std::string(tool->name()),
+               tool->probing_class() == est::ProbingClass::kDirect ? "direct"
+                                                                   : "iterative",
+               estimate, error, std::to_string(pkts), lat});
+  }
+  std::fflush(stdout);
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Comparing all implemented avail-bw estimation techniques\n"
+              "under identical conditions (the paper's Section 4 ask).\n");
+  run_on(core::CrossModel::kCbr, 1);
+  run_on(core::CrossModel::kPoisson, 2);
+  run_on(core::CrossModel::kParetoOnOff, 3);
+  std::printf("\nReading guide: direct tools need the tight-link capacity\n"
+              "as input; iterative tools do not.  Expect underestimation\n"
+              "under bursty (Pareto) cross traffic — the paper's sixth\n"
+              "misconception.\n");
+  return 0;
+}

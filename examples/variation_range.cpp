@@ -1,0 +1,58 @@
+// Variation-range explorer: how the averaging time scale tau shapes the
+// avail-bw process (the paper's definitions section and Fig. 6).
+//
+// Synthesizes the self-similar OC-3 trace (the NLANR substitute), then
+// for a sweep of time scales prints the mean, standard deviation, and
+// 5th-95th percentile variation range of A_tau — plus the sample path at
+// tau = 10 ms as an ASCII plot, mirroring Fig. 6.
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "stats/hurst.hpp"
+#include "stats/moments.hpp"
+#include "trace/availbw_process.hpp"
+#include "trace/synthetic_trace.hpp"
+
+int main() {
+  using namespace abw;
+
+  trace::SyntheticTraceConfig cfg;
+  cfg.duration = 30 * sim::kSecond;
+  stats::Rng rng(42);
+  std::printf("Synthesizing a self-similar OC-3 trace (%.0f s, mean util %.0f%%, "
+              "H=%.2f)...\n",
+              sim::to_seconds(cfg.duration), cfg.mean_utilization * 100,
+              cfg.hurst);
+  trace::PacketTrace tr = trace::synthesize_selfsimilar_trace(cfg, rng);
+  trace::AvailBwProcess proc(tr);
+
+  std::printf("Trace: %zu packets, mean avail-bw %s\n", tr.size(),
+              core::mbps(proc.mean_avail_bw()).c_str());
+
+  core::Table table({"tau", "mean A", "stddev", "5th pct", "95th pct", "range width"});
+  for (double tau_ms : {1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0}) {
+    sim::SimTime tau = sim::from_millis(tau_ms);
+    auto series = proc.series(tau);
+    auto [lo, hi] = proc.variation_range(tau, 0.05);
+    char tau_s[32];
+    std::snprintf(tau_s, sizeof tau_s, "%.0f ms", tau_ms);
+    table.row({tau_s, core::mbps(stats::mean(series)),
+               core::mbps(stats::stddev(series), 2), core::mbps(lo),
+               core::mbps(hi), core::mbps(hi - lo)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nNote how the variation range SHRINKS as tau grows — the\n"
+              "variance of A_tau decays with the averaging time scale\n"
+              "(Eqs. 4-5); for this self-similar trace the decay is slower\n"
+              "than the IID 1/k law.  Estimated Hurst parameter: %.2f\n",
+              stats::hurst_variance_time(proc.series(sim::kMillisecond)));
+
+  std::printf("\nSample path of A_tau at tau = 10 ms over 20 s (cf. Fig. 6):\n");
+  auto path10 = proc.series(10 * sim::kMillisecond);
+  if (path10.size() > 2000) path10.resize(2000);
+  std::printf("%s", core::ascii_plot(path10, 14, 76).c_str());
+  std::printf("(y: avail-bw in bits/s; x: time)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+#include "est/bfind.hpp"
+#include "est/direct.hpp"
+#include "est/igi_ptr.hpp"
+#include "est/pathchirp.hpp"
+#include "est/pathload.hpp"
+#include "est/schirp.hpp"
+#include "est/spruce.hpp"
+#include "est/topp.hpp"
+
+namespace abw::core {
+
+std::vector<std::string> available_tools() {
+  return {"direct", "spruce", "topp", "pathload",
+          "pathchirp", "schirp", "igi", "ptr", "bfind"};
+}
+
+bool is_tool(const std::string& name) {
+  for (const auto& t : available_tools())
+    if (t == name) return true;
+  return false;
+}
+
+namespace {
+
+double require_capacity(const ToolOptions& o, const std::string& tool) {
+  if (o.tight_capacity_bps <= 0.0)
+    throw std::invalid_argument(tool + ": tight_capacity_bps required "
+                                       "(direct-probing tool)");
+  return o.tight_capacity_bps;
+}
+
+}  // namespace
+
+std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
+                                               const ToolOptions& o,
+                                               stats::Rng& rng) {
+  if (name == "direct") {
+    est::DirectConfig c;
+    c.tight_capacity_bps = require_capacity(o, name);
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.stream_count = o.repetitions;
+    return std::make_unique<est::DirectProber>(c);
+  }
+  if (name == "spruce") {
+    est::SpruceConfig c;
+    c.tight_capacity_bps = require_capacity(o, name);
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.pair_count = o.repetitions;
+    return std::make_unique<est::Spruce>(c, rng.fork());
+  }
+  if (name == "topp") {
+    est::ToppConfig c;
+    c.min_rate_bps = o.min_rate_bps;
+    c.max_rate_bps = o.max_rate_bps;
+    c.rate_step_bps = (o.max_rate_bps - o.min_rate_bps) / 22.0;
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.pairs_per_rate = o.repetitions;
+    return std::make_unique<est::Topp>(c, rng.fork());
+  }
+  if (name == "pathload") {
+    est::PathloadConfig c;
+    c.min_rate_bps = o.min_rate_bps;
+    c.max_rate_bps = o.max_rate_bps;
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.streams_per_fleet = o.repetitions;
+    return std::make_unique<est::Pathload>(c);
+  }
+  if (name == "pathchirp" || name == "schirp") {
+    est::PathChirpConfig c;
+    c.low_rate_bps = o.min_rate_bps;
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.chirps = o.repetitions;
+    // Size the chirp so its top rate reaches the bracket's high edge.
+    double span = o.max_rate_bps / o.min_rate_bps;
+    auto gaps = static_cast<std::size_t>(std::log(span) / std::log(c.spread_factor)) + 1;
+    c.packets_per_chirp = std::max<std::size_t>(gaps + 1, 8);
+    if (name == "pathchirp") return std::make_unique<est::PathChirp>(c);
+    est::SChirpConfig sc;
+    sc.chirp = c;
+    return std::make_unique<est::SChirp>(sc);
+  }
+  if (name == "igi" || name == "ptr") {
+    est::IgiPtrConfig c;
+    c.tight_capacity_bps = require_capacity(o, name);
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    if (o.repetitions != 0) c.packets_per_train = o.repetitions;
+    return std::make_unique<est::IgiPtr>(
+        c, name == "igi" ? est::IgiPtrFormula::kIgi : est::IgiPtrFormula::kPtr);
+  }
+  if (name == "bfind") {
+    est::BfindConfig c;
+    c.initial_rate_bps = o.min_rate_bps;
+    c.max_rate_bps = o.max_rate_bps;
+    c.rate_step_bps = (o.max_rate_bps - o.min_rate_bps) / 20.0;
+    if (o.packet_size != 0) c.packet_size = o.packet_size;
+    return std::make_unique<est::Bfind>(c);
+  }
+  throw std::invalid_argument("make_estimator: unknown tool '" + name + "'");
+}
+
+}  // namespace abw::core

@@ -1,0 +1,39 @@
+// Estimator registry: construct any implemented technique by name with a
+// uniform option set — what lets the comparison benches, the CLI tool,
+// and downstream users treat the whole toolbox interchangeably.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "est/estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace abw::core {
+
+/// Uniform knobs shared by all tools; each tool reads the subset it
+/// understands (direct tools need `tight_capacity_bps`; iterative tools
+/// use the rate bracket).
+struct ToolOptions {
+  double tight_capacity_bps = 0.0;  ///< Ct for direct tools (required there)
+  double min_rate_bps = 1e6;        ///< search bracket low edge
+  double max_rate_bps = 100e6;      ///< search bracket high edge
+  std::uint32_t packet_size = 0;    ///< 0 = each tool's default
+  std::size_t repetitions = 0;      ///< streams/pairs/chirps; 0 = default
+};
+
+/// Names accepted by make_estimator, in a stable order.
+std::vector<std::string> available_tools();
+
+/// True when `name` names a registered tool.
+bool is_tool(const std::string& name);
+
+/// Builds the named estimator.  Throws std::invalid_argument for unknown
+/// names or for options the tool cannot work with (e.g. a direct tool
+/// without tight_capacity_bps).  `rng` seeds the tool's randomness.
+std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
+                                               const ToolOptions& options,
+                                               stats::Rng& rng);
+
+}  // namespace abw::core

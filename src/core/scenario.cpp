@@ -1,0 +1,134 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+#include "traffic/cbr.hpp"
+#include "traffic/pareto_onoff.hpp"
+#include "traffic/poisson.hpp"
+
+namespace abw::core {
+
+const char* to_string(CrossModel m) {
+  switch (m) {
+    case CrossModel::kCbr: return "CBR";
+    case CrossModel::kPoisson: return "Poisson";
+    case CrossModel::kParetoOnOff: return "Pareto ON-OFF";
+  }
+  return "?";
+}
+
+Scenario::Scenario(std::uint64_t seed)
+    : sim_(std::make_unique<sim::Simulator>()),
+      rng_(std::make_unique<stats::Rng>(seed)) {}
+
+namespace {
+
+std::unique_ptr<traffic::Generator> make_generator(
+    sim::Simulator& sim, sim::Path& path, std::size_t hop, bool one_hop,
+    std::uint32_t flow_id, stats::Rng rng, CrossModel model, double rate_bps,
+    std::uint32_t packet_size, bool trimodal, double onoff_peak,
+    double capacity_bps) {
+  switch (model) {
+    case CrossModel::kCbr:
+      return std::make_unique<traffic::CbrGenerator>(
+          sim, path, hop, one_hop, flow_id, std::move(rng), rate_bps, packet_size);
+    case CrossModel::kPoisson: {
+      traffic::SizeDistribution sizes =
+          trimodal ? traffic::SizeDistribution::internet_mix()
+                   : traffic::SizeDistribution::fixed(packet_size);
+      return std::make_unique<traffic::PoissonGenerator>(
+          sim, path, hop, one_hop, flow_id, std::move(rng), rate_bps,
+          std::move(sizes));
+    }
+    case CrossModel::kParetoOnOff: {
+      traffic::ParetoOnOffConfig oc;
+      oc.mean_rate_bps = rate_bps;
+      oc.peak_rate_bps = onoff_peak > 0.0 ? onoff_peak : capacity_bps;
+      oc.packet_size = packet_size;
+      return std::make_unique<traffic::ParetoOnOffGenerator>(
+          sim, path, hop, one_hop, flow_id, std::move(rng), oc);
+    }
+  }
+  throw std::logic_error("make_generator: unknown model");
+}
+
+}  // namespace
+
+Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
+  if (cfg.cross_rate_bps >= cfg.capacity_bps)
+    throw std::invalid_argument("Scenario: cross rate must be below capacity");
+  Scenario sc(cfg.seed);
+
+  sim::LinkConfig link;
+  link.capacity_bps = cfg.capacity_bps;
+  link.propagation_delay = cfg.propagation_delay;
+  link.queue_limit_bytes = cfg.queue_limit_bytes;
+  link.random_loss_prob = cfg.random_loss_prob;
+  link.loss_seed = cfg.seed * 131 + 7;
+  sc.path_ = std::make_unique<sim::Path>(*sc.sim_, std::vector<sim::LinkConfig>{link});
+
+  if (cfg.cross_rate_bps > 0.0) {
+    sc.generators_.push_back(make_generator(
+        *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
+        sc.rng_->fork(), cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
+        cfg.trimodal_cross_sizes, cfg.onoff_peak_rate_bps, cfg.capacity_bps));
+    sc.generators_.back()->start(0, cfg.traffic_horizon);
+  }
+
+  sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
+  sc.nominal_avail_bw_ = cfg.capacity_bps - cfg.cross_rate_bps;
+  sc.traffic_until_ = cfg.traffic_horizon;
+  sc.sim_->run_until(cfg.warmup);
+  return sc;
+}
+
+Scenario Scenario::multi_hop(const MultiHopConfig& cfg) {
+  if (cfg.hop_count == 0) throw std::invalid_argument("Scenario: no hops");
+  if (cfg.cross_rate_bps >= cfg.capacity_bps)
+    throw std::invalid_argument("Scenario: cross rate must be below capacity");
+  Scenario sc(cfg.seed);
+
+  sim::LinkConfig link;
+  link.capacity_bps = cfg.capacity_bps;
+  link.propagation_delay = cfg.propagation_delay;
+  link.queue_limit_bytes = cfg.queue_limit_bytes;
+  link.random_loss_prob = cfg.random_loss_prob;
+  link.loss_seed = cfg.seed * 131 + 7;
+  sc.path_ = std::make_unique<sim::Path>(
+      *sc.sim_, std::vector<sim::LinkConfig>(cfg.hop_count, link));
+
+  std::uint32_t flow_id = 1000;
+  for (std::size_t hop : cfg.loaded_hops) {
+    if (hop >= cfg.hop_count)
+      throw std::invalid_argument("Scenario: loaded hop out of range");
+    sc.generators_.push_back(make_generator(
+        *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id++, sc.rng_->fork(),
+        cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
+        /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps));
+    sc.generators_.back()->start(0, cfg.traffic_horizon);
+  }
+
+  sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
+  sc.nominal_avail_bw_ = cfg.capacity_bps - cfg.cross_rate_bps;
+  sc.traffic_until_ = cfg.traffic_horizon;
+  sc.sim_->run_until(cfg.warmup);
+  return sc;
+}
+
+Scenario Scenario::custom(const std::vector<sim::LinkConfig>& links,
+                          std::uint64_t seed) {
+  Scenario sc(seed);
+  sc.path_ = std::make_unique<sim::Path>(*sc.sim_, links);
+  sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
+  double cap = sc.path_->narrow_capacity();
+  sc.nominal_avail_bw_ = cap;
+  return sc;
+}
+
+double Scenario::recent_ground_truth(sim::SimTime window) const {
+  sim::SimTime now = sim_->now();
+  if (now <= window) return nominal_avail_bw_;
+  return path_->cross_avail_bw(now - window, now);
+}
+
+}  // namespace abw::core

@@ -1,0 +1,121 @@
+// Scenario: one self-contained simulated measurement setup — simulator,
+// path, cross traffic, and a probing session — with the ground truth
+// exposed.  Every experiment in the paper is an instance of one of two
+// topologies:
+//
+//  * single hop: capacity Ct, one cross-traffic source of mean rate Rc,
+//    avail-bw A = Ct - Rc (Figs. 2, 3, 5, 7, Table 1);
+//  * multi hop: H identical links, each loaded by an independent
+//    one-hop-persistent source (enters link i, exits at i+1), so several
+//    links tie for the minimum avail-bw (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "probe/session.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/packet_size.hpp"
+
+namespace abw::core {
+
+/// Cross-traffic models the paper's experiments use.
+enum class CrossModel {
+  kCbr,          ///< periodic: the fluid-like baseline
+  kPoisson,      ///< exponential interarrivals
+  kParetoOnOff,  ///< heavy-tailed bursts (shape 1.5, ON 1-10 packets)
+};
+
+const char* to_string(CrossModel m);
+
+/// Single-hop scenario parameters.  Defaults reproduce the paper's
+/// simulation setting: Ct = 50 Mb/s, avail-bw 25 Mb/s.
+struct SingleHopConfig {
+  double capacity_bps = 50e6;
+  double cross_rate_bps = 25e6;
+  CrossModel model = CrossModel::kPoisson;
+  std::uint32_t cross_packet_size = 1500;
+  bool trimodal_cross_sizes = false;  ///< Poisson only: 40/576/1500 mix
+  double onoff_peak_rate_bps = 0.0;   ///< Pareto ON-OFF only; 0 = capacity
+  sim::SimTime propagation_delay = 1 * sim::kMillisecond;
+  std::size_t queue_limit_bytes = 2 << 20;
+  double random_loss_prob = 0.0;  ///< per-packet non-congestion loss
+  sim::SimTime traffic_horizon = 600 * sim::kSecond;  ///< generator lifetime
+  sim::SimTime warmup = 2 * sim::kSecond;
+  std::uint64_t seed = 1;
+};
+
+/// Multi-hop scenario parameters (Fig. 4).  Every hop has the same
+/// capacity; hops listed in `loaded_hops` get an independent one-hop
+/// cross source of `cross_rate_bps` (the tight links); others are idle.
+struct MultiHopConfig {
+  std::size_t hop_count = 5;
+  std::vector<std::size_t> loaded_hops = {0, 2, 4};
+  double capacity_bps = 50e6;
+  double cross_rate_bps = 25e6;
+  CrossModel model = CrossModel::kPoisson;
+  std::uint32_t cross_packet_size = 1500;
+  sim::SimTime propagation_delay = 1 * sim::kMillisecond;
+  std::size_t queue_limit_bytes = 2 << 20;
+  double random_loss_prob = 0.0;  ///< per-packet non-congestion loss, per hop
+  sim::SimTime traffic_horizon = 600 * sim::kSecond;
+  sim::SimTime warmup = 2 * sim::kSecond;
+  std::uint64_t seed = 1;
+};
+
+/// A ready-to-probe simulated path.  Construction starts the cross
+/// traffic and runs the warmup, so the first probe sees steady state.
+class Scenario {
+ public:
+  /// The paper's canonical single-hop setup.
+  static Scenario single_hop(const SingleHopConfig& cfg);
+
+  /// The Fig. 4 multi-bottleneck setup.
+  static Scenario multi_hop(const MultiHopConfig& cfg);
+
+  /// A custom path with per-hop link configs and no traffic; add
+  /// generators through path()/simulator() directly.
+  static Scenario custom(const std::vector<sim::LinkConfig>& links,
+                         std::uint64_t seed);
+
+  Scenario(Scenario&&) = default;
+
+  sim::Simulator& simulator() { return *sim_; }
+  sim::Path& path() { return *path_; }
+  probe::ProbeSession& session() { return *session_; }
+  stats::Rng& rng() { return *rng_; }
+
+  /// Configured long-run avail-bw (capacity minus offered cross rate on
+  /// the tight link) — the experiment's design value A.
+  double nominal_avail_bw() const { return nominal_avail_bw_; }
+
+  /// Time at which the cross-traffic generators go silent.  Experiments
+  /// must finish before this or they measure an idle path.
+  sim::SimTime traffic_active_until() const { return traffic_until_; }
+
+  /// Measured ground-truth end-to-end avail-bw over [t1, t2) (Eq. 3),
+  /// excluding the measurement's own traffic — what an estimator running
+  /// in that window should report.
+  double ground_truth(sim::SimTime t1, sim::SimTime t2) const {
+    return path_->cross_avail_bw(t1, t2);
+  }
+
+  /// Measured ground truth over the trailing `window` ending now.
+  double recent_ground_truth(sim::SimTime window) const;
+
+ private:
+  Scenario(std::uint64_t seed);
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<stats::Rng> rng_;
+  std::unique_ptr<sim::Path> path_;
+  std::vector<std::unique_ptr<traffic::Generator>> generators_;
+  std::unique_ptr<probe::ProbeSession> session_;
+  double nominal_avail_bw_ = 0.0;
+  sim::SimTime traffic_until_ = 0;
+};
+
+}  // namespace abw::core

@@ -1,0 +1,70 @@
+#include "est/bfind.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "probe/stream_spec.hpp"
+#include "stats/moments.hpp"
+
+namespace abw::est {
+
+Bfind::Bfind(const BfindConfig& cfg) : cfg_(cfg) {
+  if (cfg.initial_rate_bps <= 0.0 || cfg.rate_step_bps <= 0.0 ||
+      cfg.max_rate_bps <= cfg.initial_rate_bps)
+    throw std::invalid_argument("Bfind: bad rate ramp");
+  if (cfg.step_duration <= 0 || cfg.sample_interval <= 0 ||
+      cfg.sample_interval * 4 > cfg.step_duration)
+    throw std::invalid_argument("Bfind: bad sampling parameters");
+}
+
+Estimate Bfind::estimate(probe::ProbeSession& session) {
+  flagged_hop_ = sim::kEndToEnd;
+  sim::Simulator& sim = session.simulator();
+  sim::Path& path = session.path();
+  std::size_t hops = path.hop_count();
+
+  for (double rate = cfg_.initial_rate_bps; rate <= cfg_.max_rate_bps;
+       rate += cfg_.rate_step_bps) {
+    // Schedule the per-hop "traceroute" samples for this step, then flood.
+    std::vector<std::vector<double>> delays_ms(hops);
+    sim::SimTime step_start = sim.now() + sim::kMillisecond;
+    for (sim::SimTime t = step_start; t < step_start + cfg_.step_duration;
+         t += cfg_.sample_interval) {
+      sim.at(t, [&path, &delays_ms, hops] {
+        for (std::size_t h = 0; h < hops; ++h)
+          delays_ms[h].push_back(sim::to_millis(path.link(h).current_delay()));
+      });
+    }
+
+    auto count = static_cast<std::size_t>(
+        sim::to_seconds(cfg_.step_duration) * rate / (cfg_.packet_size * 8.0));
+    if (count < 2) count = 2;
+    probe::StreamSpec spec =
+        probe::StreamSpec::periodic(rate, cfg_.packet_size, count);
+    session.send_stream(spec, step_start);
+    // Ensure all samplers fired even if the stream drained early.
+    sim.run_until(step_start + cfg_.step_duration);
+
+    // A hop is flagged when its mean queueing delay in the second half of
+    // the step exceeds the first half by the growth threshold: the queue
+    // is persistently building at this probing rate.
+    for (std::size_t h = 0; h < hops; ++h) {
+      const std::vector<double>& d = delays_ms[h];
+      if (d.size() < 8) continue;
+      std::size_t half = d.size() / 2;
+      std::vector<double> a(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(half));
+      std::vector<double> b(d.begin() + static_cast<std::ptrdiff_t>(half), d.end());
+      if (stats::mean(b) - stats::mean(a) > cfg_.growth_threshold_ms) {
+        flagged_hop_ = static_cast<std::uint32_t>(h);
+        Estimate e = Estimate::point(rate);
+        e.cost = session.cost();
+        e.detail = "queue growth at hop " + std::to_string(h) + " at " +
+                   std::to_string(rate / 1e6) + "Mbps";
+        return e;
+      }
+    }
+  }
+  return Estimate::invalid("bfind: no hop showed queue growth up to max rate");
+}
+
+}  // namespace abw::est

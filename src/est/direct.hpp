@@ -1,0 +1,65 @@
+// Direct probing (Delphi-style): each periodic stream of known input rate
+// Ri yields one avail-bw sample via the paper's Eq. 9:
+//
+//   A = Ct - Ri * (Ct / Ro - 1)
+//
+// valid when Ri > A (the stream must momentarily congest the tight link).
+// Requires the tight-link capacity Ct — the paper's "estimate Ct with a
+// capacity tool" pitfall applies to exactly this parameter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "est/estimator.hpp"
+#include "probe/stream_spec.hpp"
+
+namespace abw::est {
+
+/// Parameters of the direct prober.
+struct DirectConfig {
+  double tight_capacity_bps = 0.0;  ///< Ct, must be supplied (> 0)
+  double input_rate_bps = 0.0;      ///< Ri; 0 = use 0.8 * Ct
+  std::uint32_t packet_size = 1500;
+  sim::SimTime stream_duration = 50 * sim::kMillisecond;  ///< averaging knob
+  std::size_t stream_count = 20;    ///< samples per estimate
+  sim::SimTime inter_stream_gap = 50 * sim::kMillisecond;
+  /// Delphi-style rate adaptation: after each sample, the next stream's
+  /// input rate is re-aimed at the midpoint between the latest avail-bw
+  /// sample and Ct (Eq. 9 needs Ri > A, but probing far above A is
+  /// needlessly intrusive); unusable streams push the rate upward.  With
+  /// adaptation the initial rate only seeds the search.
+  bool adaptive = false;
+};
+
+/// Canonical direct prober.
+class DirectProber final : public Estimator {
+ public:
+  explicit DirectProber(const DirectConfig& cfg);
+
+  Estimate estimate(probe::ProbeSession& session) override;
+  std::string_view name() const override { return "direct"; }
+  ProbingClass probing_class() const override { return ProbingClass::kDirect; }
+
+  /// Sends ONE stream and returns the single avail-bw sample (Eq. 9), or
+  /// nullopt if the stream was unusable (loss, Ro >= Ri so the equation
+  /// degenerates).  Exposed because Fig. 2 and Table 1 analyze per-sample
+  /// statistics directly.
+  std::optional<double> sample(probe::ProbeSession& session);
+
+  /// The stream spec this config sends (for tests).
+  probe::StreamSpec stream_spec() const;
+
+  /// The input rate the next stream will use (changes under adaptation).
+  double current_rate_bps() const { return cfg_.input_rate_bps; }
+
+ private:
+  DirectConfig cfg_;
+};
+
+/// One-shot helper: applies Eq. 9 to measured rates.
+/// Returns nullopt when ro >= ri (link never congested => no sample).
+std::optional<double> direct_probe_equation(double ct_bps, double ri_bps,
+                                            double ro_bps);
+
+}  // namespace abw::est

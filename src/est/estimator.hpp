@@ -1,0 +1,74 @@
+// The estimator interface and result type shared by all techniques.
+//
+// The paper's classification (Section 2) splits tools into *direct
+// probing* (each stream yields an avail-bw sample via Eq. 9, requires the
+// tight-link capacity Ct) and *iterative probing* (each stream only
+// answers "is Ri above A?", Eq. 10).  Every class in this directory
+// implements one published technique against the common ProbeSession
+// substrate, so they can be compared "under reproducible and controllable
+// conditions, and with the same configuration parameters" — the paper's
+// closing recommendation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "probe/session.hpp"
+
+namespace abw::est {
+
+/// How a technique probes, per the paper's taxonomy.
+enum class ProbingClass { kDirect, kIterative };
+
+/// An avail-bw estimate.  Point estimators set low == high; Pathload-style
+/// range estimators report the variation range they converged to (which
+/// the paper stresses is NOT a confidence interval for the mean).
+struct Estimate {
+  bool valid = false;
+  double low_bps = 0.0;
+  double high_bps = 0.0;
+  probe::ProbeCost cost;  ///< probing overhead consumed by this estimate
+  std::string detail;     ///< tool-specific notes (diagnostics)
+
+  /// Midpoint, the conventional single-number reading.
+  double point_bps() const { return (low_bps + high_bps) / 2.0; }
+
+  static Estimate invalid(std::string why) {
+    Estimate e;
+    e.detail = std::move(why);
+    return e;
+  }
+
+  static Estimate point(double bps) {
+    Estimate e;
+    e.valid = true;
+    e.low_bps = e.high_bps = bps;
+    return e;
+  }
+
+  static Estimate range(double lo, double hi) {
+    Estimate e;
+    e.valid = true;
+    e.low_bps = lo;
+    e.high_bps = hi;
+    return e;
+  }
+};
+
+/// Common interface: run a complete measurement over the given session.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Runs the technique to completion, advancing simulated time as real
+  /// tools consume wall-clock time, and returns its estimate.
+  virtual Estimate estimate(probe::ProbeSession& session) = 0;
+
+  /// Tool name, e.g. "pathload".
+  virtual std::string_view name() const = 0;
+
+  /// Which of the paper's two probing classes the tool belongs to.
+  virtual ProbingClass probing_class() const = 0;
+};
+
+}  // namespace abw::est

@@ -1,0 +1,61 @@
+// Pathload (Jain & Dovrolis 2002/2003): iterative probing with a binary
+// rate search and statistical OWD-trend detection.
+//
+// Distinctive features reproduced here, all discussed in the paper:
+//  * fleets of N streams per rate, with an idle gap between streams so
+//    queues drain (one stream samples "is Ri > A_tau(t)" at one instant;
+//    the fleet samples it N times);
+//  * the PCT/PDT trend statistics on the OWD series, NOT the single
+//    number Ro/Ri (the "increasing OWDs is equivalent to Ro < Ri"
+//    fallacy);
+//  * a *variation range* (R_L, R_H) as output rather than a point — the
+//    range the avail-bw process visits at the stream-duration time scale
+//    (and NOT a confidence interval, as the paper stresses);
+//  * grey-region handling: rates where a fleet is neither decisively
+//    increasing nor decisively non-increasing widen the reported range.
+#pragma once
+
+#include "est/estimator.hpp"
+#include "stats/trend.hpp"
+
+namespace abw::est {
+
+/// Parameters of Pathload.
+struct PathloadConfig {
+  double min_rate_bps = 1e6;    ///< initial bracket low edge
+  double max_rate_bps = 200e6;  ///< initial bracket high edge
+  std::uint32_t packet_size = 1000;
+  std::size_t packets_per_stream = 100;
+  std::size_t streams_per_fleet = 12;
+  sim::SimTime inter_stream_gap = 20 * sim::kMillisecond;
+  double resolution_bps = 2e6;  ///< omega: bracket width to stop at
+  double fleet_decisive_fraction = 0.7;  ///< fraction of streams to call a fleet
+  std::size_t max_fleets = 24;
+  stats::TrendConfig trend;
+};
+
+/// Verdict of one fleet (exposed for tests and diagnostics).
+enum class FleetVerdict { kAboveAvailBw, kBelowAvailBw, kGrey };
+
+/// The Pathload estimator.
+class Pathload final : public Estimator {
+ public:
+  Pathload(const PathloadConfig& cfg);
+
+  Estimate estimate(probe::ProbeSession& session) override;
+  std::string_view name() const override { return "pathload"; }
+  ProbingClass probing_class() const override { return ProbingClass::kIterative; }
+
+  /// Runs one fleet at `rate_bps` and classifies it.  Exposed for the
+  /// ablation bench comparing trend tests against Ro/Ri thresholds.
+  FleetVerdict probe_fleet(probe::ProbeSession& session, double rate_bps);
+
+  /// Number of fleets the last estimate() used.
+  std::size_t fleets_used() const { return fleets_used_; }
+
+ private:
+  PathloadConfig cfg_;
+  std::size_t fleets_used_ = 0;
+};
+
+}  // namespace abw::est

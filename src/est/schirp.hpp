@@ -1,0 +1,45 @@
+// S-chirp ("Smoothed chirp", Pasztor 2003) — the chirp variant the
+// paper's classification section lists alongside pathChirp.  Same probing
+// geometry (exponentially shrinking gaps), but the queueing-delay
+// signature is smoothed with a short moving average before excursion
+// analysis, suppressing single-packet cross-traffic spikes that make raw
+// per-packet excursions jumpy.
+#pragma once
+
+#include "est/pathchirp.hpp"
+
+namespace abw::est {
+
+/// Parameters of S-chirp: pathChirp's plus the smoothing width.
+struct SChirpConfig {
+  PathChirpConfig chirp;       ///< underlying chirp geometry & analysis
+  std::size_t smooth_window = 3;  ///< moving-average width (odd, >= 1)
+  /// Excursion threshold on the SMOOTHED signal, as a fraction of its
+  /// max.  Smoothing lifts the valleys between delay spikes, so the
+  /// threshold must sit above pathChirp's raw-signal 5% or every spike
+  /// train merges into one long excursion — but not so high that mild
+  /// final excursions are missed entirely (which defaults the chirp to
+  /// its top rate).
+  double busy_threshold_fraction = 0.15;
+};
+
+/// The S-chirp estimator: smooth, then run the excursion rules.
+class SChirp final : public Estimator {
+ public:
+  explicit SChirp(const SChirpConfig& cfg);
+
+  Estimate estimate(probe::ProbeSession& session) override;
+  std::string_view name() const override { return "schirp"; }
+  ProbingClass probing_class() const override { return ProbingClass::kIterative; }
+
+  /// Centered moving average with reflection at the edges; exposed for
+  /// tests.  window must be odd.
+  static std::vector<double> smooth(const std::vector<double>& xs,
+                                    std::size_t window);
+
+ private:
+  SChirpConfig cfg_;
+  PathChirp inner_;
+};
+
+}  // namespace abw::est

@@ -1,0 +1,49 @@
+#include "est/spruce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "probe/stream_spec.hpp"
+#include "stats/moments.hpp"
+
+namespace abw::est {
+
+Spruce::Spruce(const SpruceConfig& cfg, stats::Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  if (cfg.tight_capacity_bps <= 0.0)
+    throw std::invalid_argument("Spruce: tight_capacity_bps required");
+  if (cfg.packet_size == 0 || cfg.pair_count == 0 || cfg.mean_pair_gap <= 0)
+    throw std::invalid_argument("Spruce: bad parameters");
+}
+
+Estimate Spruce::estimate(probe::ProbeSession& session) {
+  samples_.clear();
+  samples_.reserve(cfg_.pair_count);
+
+  // One long pair-train stream: pairs at rate Ct, exponential spacing.
+  probe::StreamSpec spec = probe::StreamSpec::pair_train(
+      cfg_.tight_capacity_bps, cfg_.packet_size, cfg_.pair_count,
+      cfg_.mean_pair_gap, rng_);
+  probe::StreamResult res = session.send_stream_now(spec);
+
+  double gin = sim::to_seconds(
+      sim::transmission_time(cfg_.packet_size, cfg_.tight_capacity_bps));
+
+  for (std::size_t p = 0; p + 1 < res.packets.size(); p += 2) {
+    const probe::ProbeRecord& a = res.packets[p];
+    const probe::ProbeRecord& b = res.packets[p + 1];
+    if (a.lost || b.lost) continue;
+    double gout = sim::to_seconds(b.received - a.received);
+    double sample = cfg_.tight_capacity_bps * (1.0 - (gout - gin) / gin);
+    // Spruce clamps samples into [0, Ct].
+    samples_.push_back(std::clamp(sample, 0.0, cfg_.tight_capacity_bps));
+  }
+
+  if (samples_.empty()) return Estimate::invalid("spruce: all pairs lost");
+  Estimate e = Estimate::point(stats::mean(samples_));
+  e.cost = session.cost();
+  e.detail = "pairs=" + std::to_string(samples_.size());
+  return e;
+}
+
+}  // namespace abw::est

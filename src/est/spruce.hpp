@@ -1,0 +1,45 @@
+// Spruce (Strauss, Katabi & Kaashoek, IMC 2003): direct probing with
+// packet pairs.  Each pair is sent with intra-pair gap g_in equal to the
+// tight link's transmission time of the probe packet (rate == Ct); the
+// receiver measures the output gap g_out.  Cross traffic that arrived
+// between the pair inflates the gap, giving the per-pair sample
+//
+//   A_pair = Ct * (1 - (g_out - g_in) / g_in)
+//
+// Pairs are spaced with exponential interarrivals for PASTA.  The paper's
+// "packet pairs are as good as packet trains" fallacy (Table 1) is about
+// exactly this sample's sensitivity to cross-traffic packet size.
+#pragma once
+
+#include "est/estimator.hpp"
+
+namespace abw::est {
+
+/// Parameters of Spruce.
+struct SpruceConfig {
+  double tight_capacity_bps = 0.0;  ///< Ct, required
+  std::uint32_t packet_size = 1500;
+  std::size_t pair_count = 100;     ///< Spruce's default sample size
+  sim::SimTime mean_pair_gap = 20 * sim::kMillisecond;  ///< Poisson spacing
+};
+
+/// The Spruce estimator.
+class Spruce final : public Estimator {
+ public:
+  Spruce(const SpruceConfig& cfg, stats::Rng rng);
+
+  Estimate estimate(probe::ProbeSession& session) override;
+  std::string_view name() const override { return "spruce"; }
+  ProbingClass probing_class() const override { return ProbingClass::kDirect; }
+
+  /// Per-pair samples from the last estimate() call (for Table 1-style
+  /// analyses of sample statistics).
+  const std::vector<double>& last_samples() const { return samples_; }
+
+ private:
+  SpruceConfig cfg_;
+  stats::Rng rng_;
+  std::vector<double> samples_;
+};
+
+}  // namespace abw::est

@@ -1,0 +1,67 @@
+// TOPP — Trains of Packet Pairs (Melander, Bjorkman & Gunningberg, 2000/
+// 2002): the canonical iterative prober.  Packet pairs are offered at
+// linearly increasing rates Ri; for each rate the average ratio Ri/Ro is
+// measured.  Under the single-link fluid model,
+//
+//   Ri/Ro = 1                      for Ri <= A
+//   Ri/Ro = (Rc + Ri) / Ct         for Ri >  A
+//
+// so the points above the turning point lie on a line with slope 1/Ct and
+// intercept Rc/Ct.  TOPP regresses that segment to estimate BOTH the
+// tight-link capacity Ct and the avail-bw A = Ct - Rc.
+#pragma once
+
+#include "est/estimator.hpp"
+
+namespace abw::est {
+
+/// Parameters of TOPP.
+struct ToppConfig {
+  double min_rate_bps = 1e6;
+  double max_rate_bps = 100e6;
+  double rate_step_bps = 2e6;       ///< linear sweep increment
+  std::uint32_t packet_size = 1500;
+  /// Pairs averaged per offered rate.  Individual pair ratios are highly
+  /// multimodal (0, 1, or 2 cross packets land inside a gap), so the mean
+  /// needs a few dozen pairs to stabilize — the paper's packet-pair
+  /// fallacy applies to TOPP's own samples.
+  std::size_t pairs_per_rate = 50;
+  sim::SimTime mean_pair_gap = 5 * sim::kMillisecond;
+  /// Ri/Ro above this counts as "> A".  Packet-level interactions inflate
+  /// pair dispersion by a few percent even below the avail-bw (the
+  /// paper's burstiness pitfall), so the turning threshold must sit above
+  /// that noise floor.
+  double turning_threshold = 1.10;
+};
+
+/// Per-rate measurement (exposed for tests and the tool-comparison bench).
+struct ToppPoint {
+  double offered_rate_bps;
+  double mean_ratio;  ///< average Ri/Ro over the pairs at this rate
+};
+
+/// The TOPP estimator.
+class Topp final : public Estimator {
+ public:
+  Topp(const ToppConfig& cfg, stats::Rng rng);
+
+  Estimate estimate(probe::ProbeSession& session) override;
+  std::string_view name() const override { return "topp"; }
+  ProbingClass probing_class() const override { return ProbingClass::kIterative; }
+
+  /// The Ri/Ro curve from the last run (Fig. 3/4 of the paper plot
+  /// exactly this curve's reciprocal).
+  const std::vector<ToppPoint>& last_curve() const { return curve_; }
+
+  /// Estimated tight-link capacity from the regression (0 if the last run
+  /// had no usable above-turning-point segment).
+  double estimated_capacity_bps() const { return est_capacity_; }
+
+ private:
+  ToppConfig cfg_;
+  stats::Rng rng_;
+  std::vector<ToppPoint> curve_;
+  double est_capacity_ = 0.0;
+};
+
+}  // namespace abw::est

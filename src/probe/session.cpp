@@ -1,0 +1,90 @@
+#include "probe/session.hpp"
+
+#include <stdexcept>
+
+namespace abw::probe {
+
+ProbeSession::ProbeSession(sim::Simulator& sim, sim::Path& path)
+    : sim_(sim), path_(path) {
+  probe_sink_.set_on_packet([this](const sim::Packet& pkt) {
+    on_probe(pkt, sim_.now());
+  });
+  demux_.register_handler(sim::PacketType::kProbe, &probe_sink_);
+  path_.set_receiver(&demux_);
+}
+
+StreamResult ProbeSession::send_stream(const StreamSpec& spec, sim::SimTime start) {
+  if (spec.packets.empty())
+    throw std::invalid_argument("ProbeSession: empty stream");
+  if (start < sim_.now())
+    throw std::invalid_argument("ProbeSession: start in the past");
+  if (active_ != nullptr)
+    throw std::logic_error("ProbeSession: a stream is already in flight");
+
+  StreamResult result;
+  result.stream_id = next_stream_id_++;
+  result.packets.resize(spec.packets.size());
+
+  if (cost_.streams == 0) cost_.first_send = start;
+  ++cost_.streams;
+
+  for (std::size_t i = 0; i < spec.packets.size(); ++i) {
+    const ProbePacketSpec& ps = spec.packets[i];
+    result.packets[i].seq = static_cast<std::uint32_t>(i);
+    result.packets[i].size_bytes = ps.size_bytes;
+    result.packets[i].sent = start + ps.offset;
+    result.packets[i].lost = true;  // cleared on arrival
+
+    cost_.packets++;
+    cost_.bytes += ps.size_bytes;
+
+    sim_.at(start + ps.offset, [this, i, &result, &spec] {
+      sim::Packet pkt;
+      pkt.id = sim_.next_packet_id();
+      pkt.type = sim::PacketType::kProbe;
+      pkt.measurement = true;  // excluded from cross-traffic ground truth
+      pkt.size_bytes = spec.packets[i].size_bytes;
+      pkt.stream_id = result.stream_id;
+      pkt.seq = static_cast<std::uint32_t>(i);
+      pkt.send_time = sim_.now();
+      path_.inject(0, pkt);
+    });
+  }
+
+  active_ = &result;
+  received_ = 0;
+
+  sim::SimTime deadline = start + spec.packets.back().offset + drain_timeout_;
+  std::size_t want = spec.packets.size();
+  sim_.run_until_condition(deadline, [this, want] { return received_ >= want; });
+
+  active_ = nullptr;
+  cost_.last_activity = sim_.now();
+  return result;
+}
+
+StreamResult ProbeSession::send_stream_now(const StreamSpec& spec,
+                                           sim::SimTime lead_in) {
+  return send_stream(spec, sim_.now() + lead_in);
+}
+
+void ProbeSession::on_probe(const sim::Packet& pkt, sim::SimTime now) {
+  if (active_ == nullptr || pkt.stream_id != active_->stream_id) return;  // stale
+  if (pkt.seq >= active_->packets.size()) return;
+  ProbeRecord& rec = active_->packets[pkt.seq];
+  if (!rec.lost) return;  // duplicate (cannot happen with current links)
+  rec.lost = false;
+  // Timestamp against the (possibly unsynchronized, noisy) receiver clock.
+  sim::SimTime stamp =
+      now + clock_.offset +
+      static_cast<sim::SimTime>(clock_.drift_ppm * 1e-6 *
+                                static_cast<double>(now));
+  if (clock_.jitter_std_seconds > 0.0)
+    stamp += sim::from_seconds(clock_rng_.normal() * clock_.jitter_std_seconds);
+  if (clock_.quantization > 0)
+    stamp -= stamp % clock_.quantization;  // round down to clock ticks
+  rec.received = stamp;
+  ++received_;
+}
+
+}  // namespace abw::probe

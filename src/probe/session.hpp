@@ -1,0 +1,106 @@
+// ProbeSession: sender + receiver of probing streams over a simulated
+// path.  This is the substrate every estimation technique in est/ runs
+// on: an estimator asks the session to send a stream and gets back the
+// receiver's measurements, exactly like a real tool's sender/receiver
+// processes cooperating over a network — minus clock skew, which the
+// simulator removes by construction (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "probe/stream_result.hpp"
+#include "probe/stream_spec.hpp"
+#include "sim/node.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace abw::probe {
+
+/// Per-session probing totals — the overhead/intrusiveness side of the
+/// paper's latency-vs-accuracy tradeoff.
+struct ProbeCost {
+  std::uint64_t streams = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime first_send = 0;
+  sim::SimTime last_activity = 0;
+
+  /// Wall-clock measurement latency so far.
+  sim::SimTime elapsed() const { return last_activity - first_send; }
+};
+
+/// Receiver clock model: real tools never have a synchronized receiver.
+/// OWDs measured against this clock carry a constant offset plus a slow
+/// drift — which is why tools analyze *relative* OWDs and short-stream
+/// trends (drift over one stream is negligible).  Defaults are a perfect
+/// clock.
+struct ReceiverClock {
+  sim::SimTime offset = 0;  ///< constant receiver-sender clock offset
+  double drift_ppm = 0.0;   ///< receiver clock rate error, parts-per-million
+  sim::SimTime quantization = 0;  ///< timestamp granularity (0 = exact);
+                                  ///< e.g. 1 us for gettimeofday-era hosts
+  double jitter_std_seconds = 0.0;  ///< Gaussian timestamping noise
+                                    ///< (interrupt coalescing, softirq)
+};
+
+/// Sends probing streams end-to-end over a Path and collects per-packet
+/// receive timestamps.  Installs itself as the path receiver via an
+/// internal TypeDemux (exposed so other endpoints, e.g. TCP sinks, can
+/// share the path).
+class ProbeSession {
+ public:
+  ProbeSession(sim::Simulator& sim, sim::Path& path);
+
+  ProbeSession(const ProbeSession&) = delete;
+  ProbeSession& operator=(const ProbeSession&) = delete;
+
+  /// Sends one stream starting at `start` (absolute sim time, >= now) and
+  /// runs the simulation until every packet arrived or has been given
+  /// `drain_timeout` after the last send to arrive (covers queueing and
+  /// losses).  Returns the receiver's measurements.
+  StreamResult send_stream(const StreamSpec& spec, sim::SimTime start);
+
+  /// Convenience: sends starting `lead_in` after now.
+  StreamResult send_stream_now(const StreamSpec& spec,
+                               sim::SimTime lead_in = sim::kMillisecond);
+
+  /// Measurement overhead accumulated so far.
+  const ProbeCost& cost() const { return cost_; }
+
+  /// The shared end-host demux (register TCP handlers here if needed).
+  sim::TypeDemux& demux() { return demux_; }
+
+  /// Maximum time to wait for in-flight packets after the last send.
+  void set_drain_timeout(sim::SimTime t) { drain_timeout_ = t; }
+
+  /// The simulation kernel and path this session probes (estimators that
+  /// drive their own workloads, e.g. BFind, need them).
+  sim::Simulator& simulator() { return sim_; }
+  sim::Path& path() { return path_; }
+
+  /// Installs an unsynchronized receiver clock; all subsequent receive
+  /// timestamps (hence OWDs) are measured against it.
+  void set_receiver_clock(const ReceiverClock& clock) { clock_ = clock; }
+
+ private:
+  void on_probe(const sim::Packet& pkt, sim::SimTime now);
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  sim::TypeDemux demux_;
+  sim::CountingSink probe_sink_;
+  sim::SimTime drain_timeout_ = 2 * sim::kSecond;
+  ReceiverClock clock_;
+  stats::Rng clock_rng_{0xC10CC10C};  ///< timestamping-jitter stream
+
+  std::uint32_t next_stream_id_ = 1;
+  // In-flight stream state (one stream at a time, like real tools).
+  StreamResult* active_ = nullptr;
+  std::size_t received_ = 0;
+
+  ProbeCost cost_;
+};
+
+}  // namespace abw::probe

@@ -1,0 +1,63 @@
+#include "probe/stream_result.hpp"
+
+namespace abw::probe {
+
+std::size_t StreamResult::lost_count() const {
+  std::size_t n = 0;
+  for (const auto& p : packets)
+    if (p.lost) ++n;
+  return n;
+}
+
+double StreamResult::input_rate_bps() const {
+  if (packets.size() < 2) return 0.0;
+  std::uint64_t bits = 0;
+  for (std::size_t i = 1; i < packets.size(); ++i) bits += packets[i].size_bytes * 8ULL;
+  sim::SimTime span = packets.back().sent - packets.front().sent;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(bits) / sim::to_seconds(span);
+}
+
+double StreamResult::output_rate_bps() const {
+  const ProbeRecord* first = nullptr;
+  const ProbeRecord* last = nullptr;
+  std::uint64_t bits = 0;
+  for (const auto& p : packets) {
+    if (p.lost) continue;
+    if (first == nullptr) {
+      first = &p;
+    } else {
+      bits += p.size_bytes * 8ULL;
+      last = &p;
+    }
+  }
+  if (first == nullptr || last == nullptr) return 0.0;
+  sim::SimTime span = last->received - first->received;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(bits) / sim::to_seconds(span);
+}
+
+double StreamResult::rate_ratio() const {
+  double ri = input_rate_bps();
+  double ro = output_rate_bps();
+  if (ri <= 0.0 || ro <= 0.0) return 0.0;
+  return ro / ri;
+}
+
+std::vector<double> StreamResult::owds_seconds() const {
+  std::vector<double> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets)
+    if (!p.lost) out.push_back(sim::to_seconds(p.received - p.sent));
+  return out;
+}
+
+std::vector<double> StreamResult::relative_owds_ms() const {
+  std::vector<double> owds = owds_seconds();
+  if (owds.empty()) return owds;
+  double base = owds.front();
+  for (double& d : owds) d = (d - base) * 1e3;
+  return owds;
+}
+
+}  // namespace abw::probe

@@ -1,0 +1,53 @@
+// What the receiver measured for one probing stream: per-packet send and
+// receive timestamps, from which the paper's two observables derive —
+// the one-way-delay series (Eq. 7) and the output rate Ro (Eq. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace abw::probe {
+
+/// Per-packet measurement record.
+struct ProbeRecord {
+  std::uint32_t seq = 0;
+  std::uint32_t size_bytes = 0;
+  sim::SimTime sent = 0;
+  sim::SimTime received = 0;  ///< valid only when !lost
+  bool lost = false;
+};
+
+/// The receiver's view of one stream.
+struct StreamResult {
+  std::uint32_t stream_id = 0;
+  std::vector<ProbeRecord> packets;  ///< ordered by seq
+
+  /// Number of packets that never arrived.
+  std::size_t lost_count() const;
+
+  /// True when every packet arrived.
+  bool complete() const { return lost_count() == 0; }
+
+  /// Input rate Ri: bits after the first packet / send span.  0 if fewer
+  /// than two packets were sent.
+  double input_rate_bps() const;
+
+  /// Output rate Ro: bits after the first received packet / receive span,
+  /// over received packets only.  0 if fewer than two arrived.
+  double output_rate_bps() const;
+
+  /// Ro / Ri; 0 when undefined.
+  double rate_ratio() const;
+
+  /// One-way delays (received - sent) in seconds for received packets, in
+  /// seq order.  These are the series PCT/PDT analyze.
+  std::vector<double> owds_seconds() const;
+
+  /// OWDs relative to the first received packet's OWD, in milliseconds —
+  /// the paper's Fig. 5 y-axis.
+  std::vector<double> relative_owds_ms() const;
+};
+
+}  // namespace abw::probe

@@ -1,0 +1,92 @@
+#include "sim/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abw::sim {
+
+Link::Link(Simulator& sim, std::string name, const LinkConfig& cfg)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      meter_(cfg.capacity_bps),
+      loss_rng_(cfg.loss_seed) {
+  if (cfg.capacity_bps <= 0.0)
+    throw std::invalid_argument("Link: capacity must be > 0");
+  if (cfg.propagation_delay < 0)
+    throw std::invalid_argument("Link: negative propagation delay");
+  if (cfg.random_loss_prob < 0.0 || cfg.random_loss_prob >= 1.0)
+    throw std::invalid_argument("Link: random_loss_prob must be in [0,1)");
+}
+
+void Link::handle(Packet pkt) {
+  ++stats_.packets_in;
+  stats_.bytes_in += pkt.size_bytes;
+  if (tap_) tap_(pkt, sim_.now());
+  if (cfg_.random_loss_prob > 0.0 && loss_rng_.bernoulli(cfg_.random_loss_prob)) {
+    ++stats_.packets_lost;
+    return;
+  }
+  if (cfg_.discipline == QueueDiscipline::kRed && red_drop(pkt.size_bytes)) {
+    ++stats_.packets_red_dropped;
+    return;
+  }
+  if (queued_bytes_ + pkt.size_bytes > cfg_.queue_limit_bytes) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  queued_bytes_ += pkt.size_bytes;
+  queue_.push_back(pkt);
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  Packet pkt = queue_.front();
+  queue_.pop_front();
+
+  SimTime tx = transmission_time(pkt.size_bytes, cfg_.capacity_bps);
+  SimTime start = sim_.now();
+  SimTime done = start + tx;
+  meter_.add_busy(start, done, pkt.measurement);
+
+  sim_.at(done, [this, pkt]() mutable {
+    queued_bytes_ -= pkt.size_bytes;
+    ++stats_.packets_out;
+    stats_.bytes_out += pkt.size_bytes;
+    if (next_ == nullptr) throw std::logic_error("Link '" + name_ + "': no next handler");
+    // Deliver after propagation; capture by value so the packet survives.
+    PacketHandler* next = next_;
+    if (cfg_.propagation_delay == 0) {
+      next->handle(pkt);
+    } else {
+      sim_.after(cfg_.propagation_delay, [next, pkt]() mutable { next->handle(pkt); });
+    }
+    start_transmission();
+  });
+}
+
+bool Link::red_drop(std::uint32_t size_bytes) {
+  // Classic byte-mode RED: EWMA of the instantaneous backlog; linear drop
+  // ramp between the thresholds, forced drop above the max threshold.
+  const RedConfig& red = cfg_.red;
+  red_avg_bytes_ = (1.0 - red.ewma_weight) * red_avg_bytes_ +
+                   red.ewma_weight * static_cast<double>(queued_bytes_ + size_bytes);
+  if (red_avg_bytes_ <= static_cast<double>(red.min_threshold_bytes)) return false;
+  if (red_avg_bytes_ >= static_cast<double>(red.max_threshold_bytes)) return true;
+  double frac = (red_avg_bytes_ - static_cast<double>(red.min_threshold_bytes)) /
+                static_cast<double>(red.max_threshold_bytes -
+                                    red.min_threshold_bytes);
+  return loss_rng_.bernoulli(frac * red.max_drop_prob);
+}
+
+SimTime Link::current_delay() const {
+  return transmission_time(static_cast<std::uint32_t>(queued_bytes_), cfg_.capacity_bps) +
+         cfg_.propagation_delay;
+}
+
+}  // namespace abw::sim

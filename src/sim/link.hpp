@@ -1,0 +1,114 @@
+// Store-and-forward link: FIFO drop-tail output queue + transmitter +
+// propagation delay.  This is the queueing model every experiment in the
+// paper is built on (its Eq. 6: q-growth when Ri > A happens here).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/util_meter.hpp"
+#include "stats/rng.hpp"
+
+namespace abw::sim {
+
+/// Active queue management discipline of a link.
+enum class QueueDiscipline {
+  kDropTail,  ///< drop arrivals once the byte limit is exceeded (default)
+  kRed,       ///< Random Early Detection (Floyd & Jacobson 1993)
+};
+
+/// RED parameters (in bytes, mirroring the byte-based queue limit).
+struct RedConfig {
+  std::size_t min_threshold_bytes = 30 * 1500;
+  std::size_t max_threshold_bytes = 90 * 1500;
+  double max_drop_prob = 0.1;   ///< drop probability at max threshold
+  double ewma_weight = 0.002;   ///< averaging weight for the queue estimate
+};
+
+/// Configuration of a link.
+struct LinkConfig {
+  double capacity_bps = 100e6;        ///< transmission rate, bits/s
+  SimTime propagation_delay = 0;      ///< per-packet latency after tx
+  std::size_t queue_limit_bytes = 1 << 20;  ///< hard byte limit
+  /// Random per-packet loss probability (0 = lossless).  Applied on
+  /// arrival, before queueing — models transmission errors independent of
+  /// congestion (failure injection for estimator robustness tests).
+  double random_loss_prob = 0.0;
+  std::uint64_t loss_seed = 0x10557;  ///< RNG seed for the loss process
+  QueueDiscipline discipline = QueueDiscipline::kDropTail;
+  RedConfig red;                      ///< used when discipline == kRed
+};
+
+/// Counters a link exposes for tests and experiment reports.
+struct LinkStats {
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t packets_dropped = 0;  ///< queue-overflow (congestion) drops
+  std::uint64_t packets_red_dropped = 0;  ///< RED early drops
+  std::uint64_t packets_lost = 0;     ///< random (non-congestion) losses
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// A unidirectional store-and-forward link.  Packets handed to `handle()`
+/// join the FIFO queue (or are dropped when the byte limit is exceeded);
+/// the head packet is transmitted at `capacity_bps` and delivered to the
+/// downstream handler after the propagation delay.  Every transmission is
+/// recorded in the UtilizationMeter, giving exact ground-truth avail-bw.
+class Link final : public PacketHandler {
+ public:
+  Link(Simulator& sim, std::string name, const LinkConfig& cfg);
+
+  /// Sets the downstream receiver of transmitted packets.  Must be set
+  /// before the first packet arrives; not owned.
+  void set_next(PacketHandler* next) { next_ = next; }
+
+  void handle(Packet pkt) override;
+
+  const LinkStats& stats() const { return stats_; }
+  const UtilizationMeter& meter() const { return meter_; }
+  double capacity_bps() const { return cfg_.capacity_bps; }
+  SimTime propagation_delay() const { return cfg_.propagation_delay; }
+  const std::string& name() const { return name_; }
+
+  /// Instantaneous queue backlog in bytes (including the packet in
+  /// transmission).
+  std::size_t backlog_bytes() const { return queued_bytes_; }
+
+  /// Queueing + transmission delay a packet arriving right now would see
+  /// (ignores future arrivals).  Used by the BFind-style per-hop monitor.
+  SimTime current_delay() const;
+
+  /// Observes every packet *arriving* at the link (before any drop
+  /// decision), with the arrival timestamp.  Used by trace recorders;
+  /// at most one tap.
+  void set_arrival_tap(std::function<void(const Packet&, SimTime)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  void start_transmission();
+  bool red_drop(std::uint32_t size_bytes);  // RED admission decision
+
+  Simulator& sim_;
+  std::string name_;
+  LinkConfig cfg_;
+  PacketHandler* next_ = nullptr;
+
+  std::deque<Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+
+  LinkStats stats_;
+  UtilizationMeter meter_;
+  std::function<void(const Packet&, SimTime)> tap_;
+  stats::Rng loss_rng_;
+  double red_avg_bytes_ = 0.0;  // EWMA queue estimate for RED
+};
+
+}  // namespace abw::sim

@@ -1,0 +1,2 @@
+// Intentionally empty: node.hpp is header-only, this TU anchors the target.
+#include "sim/node.hpp"

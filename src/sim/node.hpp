@@ -1,0 +1,86 @@
+// Routing and terminal nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// Terminal sink that counts and (optionally) records deliveries.  Used as
+/// the exit point for one-hop-persistent cross traffic and as a building
+/// block for receivers.
+class CountingSink final : public PacketHandler {
+ public:
+  void handle(Packet pkt) override {
+    ++packets_;
+    bytes_ += pkt.size_bytes;
+    if (on_packet_) on_packet_(pkt);
+  }
+
+  /// Optional per-delivery callback (e.g. probe receivers, TCP sinks).
+  void set_on_packet(std::function<void(const Packet&)> cb) { on_packet_ = std::move(cb); }
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::function<void(const Packet&)> on_packet_;
+};
+
+/// End-host receiver that dispatches by packet type, so probe receivers
+/// and TCP endpoints can share one path.  Unregistered types fall through
+/// to a default sink (counted, discarded).
+class TypeDemux final : public PacketHandler {
+ public:
+  /// Registers `handler` (not owned) for packets of type `t`.
+  void register_handler(PacketType t, PacketHandler* handler) {
+    handlers_[static_cast<std::size_t>(t)] = handler;
+  }
+
+  void handle(Packet pkt) override {
+    PacketHandler* h = handlers_[static_cast<std::size_t>(pkt.type)];
+    if (h != nullptr) {
+      h->handle(pkt);
+    } else {
+      fallback_.handle(pkt);
+    }
+  }
+
+  const CountingSink& fallback() const { return fallback_; }
+
+ private:
+  PacketHandler* handlers_[4] = {nullptr, nullptr, nullptr, nullptr};
+  CountingSink fallback_;
+};
+
+/// Router placed after hop `hop_index` of a path: packets whose
+/// `exit_hop == hop_index` are diverted to the cross-traffic sink;
+/// everything else continues to the next hop (or the path receiver).
+class RouterNode final : public PacketHandler {
+ public:
+  RouterNode(std::uint32_t hop_index, PacketHandler* onward, PacketHandler* cross_sink)
+      : hop_index_(hop_index), onward_(onward), cross_sink_(cross_sink) {}
+
+  void set_onward(PacketHandler* onward) { onward_ = onward; }
+
+  void handle(Packet pkt) override {
+    if (pkt.exit_hop == hop_index_) {
+      cross_sink_->handle(pkt);
+    } else {
+      onward_->handle(pkt);
+    }
+  }
+
+ private:
+  std::uint32_t hop_index_;
+  PacketHandler* onward_;
+  PacketHandler* cross_sink_;
+};
+
+}  // namespace abw::sim

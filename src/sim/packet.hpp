@@ -1,0 +1,49 @@
+// The simulated packet.  Plain data; links and nodes move it by value.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// Role of a packet; determines accounting and routing interpretation.
+enum class PacketType : std::uint8_t {
+  kCross,    ///< open-loop cross traffic
+  kProbe,    ///< active-measurement probe
+  kTcpData,  ///< TCP segment carrying payload
+  kTcpAck,   ///< TCP acknowledgment
+};
+
+/// Sentinel for "travels the full path" in Packet::exit_hop.
+inline constexpr std::uint32_t kEndToEnd = std::numeric_limits<std::uint32_t>::max();
+
+/// A packet in flight.  `size_bytes` is the wire size used for
+/// serialization-time and queue-occupancy computations.
+struct Packet {
+  std::uint64_t id = 0;          ///< globally unique, assigned by Simulator
+  PacketType type = PacketType::kCross;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t flow_id = 0;     ///< generator / connection identifier
+  std::uint32_t stream_id = 0;   ///< probe stream index (probe packets)
+  std::uint32_t seq = 0;         ///< sequence number within flow or stream
+  std::uint32_t exit_hop = kEndToEnd;  ///< hop after which the packet leaves
+                                       ///< the path (one-hop cross traffic)
+  bool measurement = false;      ///< belongs to the measurement itself
+                                 ///< (probes, the measured TCP flow) and is
+                                 ///< excluded from cross-traffic ground truth
+  SimTime send_time = 0;         ///< injection time at the origin
+  SimTime recv_time = 0;         ///< set on final delivery
+};
+
+/// Interface for anything that can accept a packet: links, router nodes,
+/// receivers.  Implementations take the packet by value and may forward,
+/// queue, or consume it.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle(Packet pkt) = 0;
+};
+
+}  // namespace abw::sim

@@ -1,0 +1,25 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace abw::sim {
+
+void Scheduler::schedule(SimTime t, Callback cb) {
+  if (t < last_popped_)
+    throw std::logic_error("Scheduler::schedule: event in the past");
+  heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Scheduler::Event Scheduler::pop() {
+  if (heap_.empty()) throw std::logic_error("Scheduler::pop: empty");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  last_popped_ = ev.time;
+  return ev;
+}
+
+}  // namespace abw::sim

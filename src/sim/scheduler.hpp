@@ -1,0 +1,57 @@
+// Event scheduler: a time-ordered queue of callbacks.  Ties are broken by
+// insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// Minimal discrete-event scheduler.  Not thread-safe; the simulation is
+/// single-threaded by design.  The owner (Simulator) pops an event,
+/// advances its clock to the event time, and only then runs the callback —
+/// so callbacks always observe the correct current time.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// An event popped from the queue.
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback cb;
+  };
+
+  /// Schedules `cb` to fire at absolute time `t`.  `t` must not be earlier
+  /// than the most recently popped event time (no scheduling in the past).
+  void schedule(SimTime t, Callback cb);
+
+  /// True when no events remain.
+  bool empty() const { return heap_.empty(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  SimTime next_time() const { return heap_.front().time; }
+
+  /// Removes and returns the earliest event (does NOT run it).
+  Event pop();
+
+  /// Number of pending events.
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;  // std::push_heap/pop_heap min-heap via Later
+  std::uint64_t next_seq_ = 0;
+  SimTime last_popped_ = 0;
+};
+
+}  // namespace abw::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abw::sim {
+
+void Simulator::at(SimTime t, std::function<void()> cb) {
+  if (t < now_) throw std::logic_error("Simulator::at: time in the past");
+  scheduler_.schedule(t, std::move(cb));
+}
+
+void Simulator::after(SimTime delay, std::function<void()> cb) {
+  if (delay < 0) throw std::logic_error("Simulator::after: negative delay");
+  scheduler_.schedule(now_ + delay, std::move(cb));
+}
+
+void Simulator::step() {
+  Scheduler::Event ev = scheduler_.pop();
+  now_ = ev.time;  // advance the clock BEFORE the callback runs
+  ++events_processed_;
+  ev.cb();
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!scheduler_.empty() && scheduler_.next_time() <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_until_condition(SimTime t_max,
+                                    const std::function<bool()>& done) {
+  if (done()) return true;
+  while (!scheduler_.empty() && scheduler_.next_time() <= t_max) {
+    step();
+    if (done()) return true;
+  }
+  return false;
+}
+
+void Simulator::run_until_idle() {
+  while (!scheduler_.empty()) step();
+}
+
+}  // namespace abw::sim

@@ -1,0 +1,59 @@
+// The simulation kernel: a clock plus a scheduler plus packet-id issuance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// Owns simulated time.  All components keep a reference to the Simulator
+/// and schedule their work through it.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (>= now()).
+  void at(SimTime t, std::function<void()> cb);
+
+  /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
+  void after(SimTime delay, std::function<void()> cb);
+
+  /// Runs events until the queue is empty or the next event is past `t`;
+  /// the clock is left at min(t, last event time processed ... t).
+  void run_until(SimTime t);
+
+  /// Runs until no events remain.
+  void run_until_idle();
+
+  /// Runs events until `done()` returns true, the next event is past
+  /// `t_max`, or the queue empties.  `done` is checked after each event.
+  /// Returns true when the predicate was satisfied.
+  bool run_until_condition(SimTime t_max, const std::function<bool()>& done);
+
+  /// True when no events are pending.
+  bool idle() const { return scheduler_.empty(); }
+
+  /// Issues a fresh globally unique packet id.
+  std::uint64_t next_packet_id() { return next_packet_id_++; }
+
+  /// Total events processed (for micro-benchmarks and sanity checks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  void step();  // pop one event, advance the clock, run the callback
+
+  Scheduler scheduler_;
+  SimTime now_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace abw::sim

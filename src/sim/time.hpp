@@ -1,0 +1,44 @@
+// Simulation time base.
+//
+// All simulator timestamps are integer nanoseconds (SimTime).  At the
+// paper's scales (1500 B packets on 10-155 Mb/s links => 77 us - 1.2 ms
+// serialization times) nanosecond resolution leaves 4-5 digits of headroom
+// below the shortest interval of interest, while int64 gives ~292 years of
+// range — no overflow concerns for multi-minute simulations.
+#pragma once
+
+#include <cstdint>
+
+namespace abw::sim {
+
+/// Simulation timestamp / duration in integer nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts seconds (double) to SimTime, rounding to nearest nanosecond.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts milliseconds (double) to SimTime.
+constexpr SimTime from_millis(double ms) { return from_seconds(ms * 1e-3); }
+
+/// Converts microseconds (double) to SimTime.
+constexpr SimTime from_micros(double us) { return from_seconds(us * 1e-6); }
+
+/// Converts SimTime to seconds (double).
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts SimTime to milliseconds (double).
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+/// Serialization (transmission) time of `bytes` on a link of `bps` bits/s.
+constexpr SimTime transmission_time(std::uint32_t bytes, double bps) {
+  return from_seconds(static_cast<double>(bytes) * 8.0 / bps);
+}
+
+}  // namespace abw::sim

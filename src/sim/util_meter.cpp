@@ -1,0 +1,96 @@
+#include "sim/util_meter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abw::sim {
+
+UtilizationMeter::UtilizationMeter(double capacity_bps) : capacity_bps_(capacity_bps) {
+  if (capacity_bps <= 0.0)
+    throw std::invalid_argument("UtilizationMeter: capacity must be > 0");
+}
+
+void UtilizationMeter::add_busy(SimTime start, SimTime end, bool measurement) {
+  if (end <= start) throw std::invalid_argument("UtilizationMeter: empty interval");
+  if (!starts_.empty() && start < ends_.back())
+    throw std::logic_error("UtilizationMeter: overlapping busy interval");
+  if (!ends_.empty() && start == ends_.back() && is_meas_.back() == measurement) {
+    // Back-to-back transmission with the same attribution: extend.
+    ends_.back() = end;
+    cum_busy_.back() += end - start;
+    if (measurement) cum_meas_busy_.back() += end - start;
+    return;
+  }
+  SimTime prev = cum_busy_.empty() ? 0 : cum_busy_.back();
+  SimTime prev_meas = cum_meas_busy_.empty() ? 0 : cum_meas_busy_.back();
+  starts_.push_back(start);
+  ends_.push_back(end);
+  is_meas_.push_back(measurement);
+  cum_busy_.push_back(prev + (end - start));
+  cum_meas_busy_.push_back(prev_meas + (measurement ? end - start : 0));
+}
+
+namespace {
+
+// Shared window-sum over disjoint sorted intervals with a prefix-sum
+// array; `select` maps an interval index to the share of its duration
+// that counts (for the measurement sum, 0 or the full interval).
+template <typename Select>
+SimTime window_sum(const std::vector<SimTime>& starts,
+                   const std::vector<SimTime>& ends,
+                   const std::vector<SimTime>& cum, SimTime t1, SimTime t2,
+                   Select counts_interval) {
+  if (t2 <= t1 || starts.empty()) return 0;
+  auto lo_it = std::upper_bound(ends.begin(), ends.end(), t1);
+  std::size_t lo = static_cast<std::size_t>(lo_it - ends.begin());
+  auto hi_it = std::lower_bound(starts.begin(), starts.end(), t2);
+  std::size_t hi = static_cast<std::size_t>(hi_it - starts.begin());  // exclusive
+  if (lo >= hi) return 0;
+
+  SimTime total = cum[hi - 1] - (lo == 0 ? 0 : cum[lo - 1]);
+  // Trim the partially covered edge intervals (only if they count).
+  if (starts[lo] < t1 && counts_interval(lo)) total -= t1 - starts[lo];
+  if (ends[hi - 1] > t2 && counts_interval(hi - 1)) total -= ends[hi - 1] - t2;
+  return total;
+}
+
+}  // namespace
+
+SimTime UtilizationMeter::busy_time(SimTime t1, SimTime t2) const {
+  return window_sum(starts_, ends_, cum_busy_, t1, t2,
+                    [](std::size_t) { return true; });
+}
+
+SimTime UtilizationMeter::measurement_busy_time(SimTime t1, SimTime t2) const {
+  return window_sum(starts_, ends_, cum_meas_busy_, t1, t2,
+                    [this](std::size_t i) { return static_cast<bool>(is_meas_[i]); });
+}
+
+double UtilizationMeter::utilization(SimTime t1, SimTime t2) const {
+  if (t2 <= t1) throw std::invalid_argument("utilization: empty window");
+  return static_cast<double>(busy_time(t1, t2)) / static_cast<double>(t2 - t1);
+}
+
+double UtilizationMeter::avail_bw(SimTime t1, SimTime t2) const {
+  return capacity_bps_ * (1.0 - utilization(t1, t2));
+}
+
+double UtilizationMeter::cross_avail_bw(SimTime t1, SimTime t2) const {
+  if (t2 <= t1) throw std::invalid_argument("cross_avail_bw: empty window");
+  SimTime cross_busy = busy_time(t1, t2) - measurement_busy_time(t1, t2);
+  double u = static_cast<double>(cross_busy) / static_cast<double>(t2 - t1);
+  return capacity_bps_ * (1.0 - u);
+}
+
+std::vector<double> UtilizationMeter::avail_bw_series(SimTime t0, SimTime t1,
+                                                      SimTime tau,
+                                                      bool exclude_measurement) const {
+  if (tau <= 0) throw std::invalid_argument("avail_bw_series: tau must be > 0");
+  std::vector<double> out;
+  for (SimTime t = t0; t + tau <= t1; t += tau)
+    out.push_back(exclude_measurement ? cross_avail_bw(t, t + tau)
+                                      : avail_bw(t, t + tau));
+  return out;
+}
+
+}  // namespace abw::sim

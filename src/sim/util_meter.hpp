@@ -1,0 +1,78 @@
+// Exact per-link utilization accounting — the ground truth behind every
+// experiment.  The paper defines (Eqs. 1-2):
+//
+//   u_i(t, t+tau) = (1/tau) * integral of the instantaneous utilization
+//   A_i(t, t+tau) = C_i * (1 - u_i(t, t+tau))
+//
+// A link records every transmission as a busy interval; the meter then
+// answers "how much of [t1, t2) was the link transmitting?" exactly, so
+// ground-truth avail-bw at ANY averaging time scale is available without
+// sampling error.  This is what lets the library separate estimator error
+// from avail-bw process variability (the paper's first pitfall).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// Records busy (transmitting) intervals of a link and answers utilization
+/// and avail-bw queries over arbitrary windows.
+class UtilizationMeter {
+ public:
+  /// `capacity_bps` is the capacity of the metered link.
+  explicit UtilizationMeter(double capacity_bps);
+
+  /// Records that the link was transmitting during [start, end).
+  /// Intervals must be non-overlapping and arrive in time order (links
+  /// transmit one packet at a time); adjacent intervals with the same
+  /// `measurement` attribution are coalesced.  `measurement` marks busy
+  /// time caused by the measurement's own packets (probes, the measured
+  /// TCP flow) so ground truth can be computed against cross traffic only.
+  void add_busy(SimTime start, SimTime end, bool measurement = false);
+
+  /// Busy time within [t1, t2), exact (all traffic).
+  SimTime busy_time(SimTime t1, SimTime t2) const;
+
+  /// Busy time within [t1, t2) caused by measurement traffic only.
+  SimTime measurement_busy_time(SimTime t1, SimTime t2) const;
+
+  /// Avail-bw as cross traffic leaves it: C * (1 - (busy - measurement
+  /// busy) / window).  This is the paper's ground truth A(t1, t2) — the
+  /// probing load must not count against itself.
+  double cross_avail_bw(SimTime t1, SimTime t2) const;
+
+  /// Average utilization in [t1, t2), in [0, 1].
+  double utilization(SimTime t1, SimTime t2) const;
+
+  /// Available bandwidth A(t1, t2) = C * (1 - u(t1, t2)), in bits/s.
+  double avail_bw(SimTime t1, SimTime t2) const;
+
+  /// The A_tau(t) series: avail-bw over consecutive windows of length tau
+  /// covering [t0, t0 + n*tau) where n = floor((t1 - t0) / tau).
+  /// `exclude_measurement` computes the cross-traffic-only series.
+  std::vector<double> avail_bw_series(SimTime t0, SimTime t1, SimTime tau,
+                                      bool exclude_measurement = false) const;
+
+  /// Capacity this meter was constructed with (bits/s).
+  double capacity_bps() const { return capacity_bps_; }
+
+  /// Number of stored (coalesced) busy intervals.
+  std::size_t interval_count() const { return starts_.size(); }
+
+ private:
+  double capacity_bps_;
+  // Parallel arrays of interval bounds; starts_ is sorted and intervals
+  // are disjoint, enabling binary-search queries.
+  std::vector<SimTime> starts_;
+  std::vector<SimTime> ends_;
+  // Prefix sums of busy durations for O(log n) window queries; the
+  // second array tracks the measurement-attributed share per interval.
+  std::vector<SimTime> cum_busy_;
+  std::vector<SimTime> cum_meas_busy_;
+  std::vector<bool> is_meas_;  // attribution of each stored interval
+};
+
+}  // namespace abw::sim

@@ -1,0 +1,50 @@
+#include "stats/acf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/moments.hpp"
+
+namespace abw::stats {
+
+double autocorrelation(const std::vector<double>& xs, std::size_t lag) {
+  std::size_t n = xs.size();
+  if (n < 2 || lag >= n) return 0.0;
+  double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom == 0.0) return 0.0;
+  double num = 0.0;
+  for (std::size_t i = lag; i < n; ++i) num += (xs[i] - m) * (xs[i - lag] - m);
+  return num / denom;
+}
+
+std::vector<double> acf(const std::vector<double>& xs, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t k = 0; k <= max_lag; ++k) out.push_back(autocorrelation(xs, k));
+  return out;
+}
+
+double ljung_box(const std::vector<double>& xs, std::size_t max_lag) {
+  std::size_t n = xs.size();
+  if (max_lag == 0 || n <= max_lag + 1)
+    throw std::invalid_argument("ljung_box: need n > max_lag + 1 and max_lag > 0");
+  double q = 0.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double rho = autocorrelation(xs, k);
+    q += rho * rho / static_cast<double>(n - k);
+  }
+  return static_cast<double>(n) * (static_cast<double>(n) + 2.0) * q;
+}
+
+bool is_autocorrelated(const std::vector<double>& xs, std::size_t max_lag) {
+  double q = ljung_box(xs, max_lag);
+  // Wilson-Hilferty: chi2_p(d) ~ d * (1 - 2/(9d) + z_p * sqrt(2/(9d)))^3,
+  // z_0.99 = 2.3263.
+  double d = static_cast<double>(max_lag);
+  double cut = d * std::pow(1.0 - 2.0 / (9.0 * d) + 2.3263 * std::sqrt(2.0 / (9.0 * d)), 3.0);
+  return q > cut;
+}
+
+}  // namespace abw::stats

@@ -1,0 +1,32 @@
+// Autocorrelation analysis.  The paper's definitions section points out
+// that the rate of variance decay of A_tau depends on the correlation
+// structure of the process (Eqs. 4 vs 5); the ACF is how that structure
+// is inspected, and the Ljung-Box statistic tests whether a series is
+// distinguishable from white noise at all.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// Sample autocorrelation at lag k (biased, normalized by n): in [-1, 1].
+/// Returns 0 for a constant or too-short series.
+double autocorrelation(const std::vector<double>& xs, std::size_t lag);
+
+/// Sample ACF for lags 0..max_lag (inclusive); acf[0] == 1 for any
+/// non-degenerate series.
+std::vector<double> acf(const std::vector<double>& xs, std::size_t max_lag);
+
+/// Ljung-Box Q statistic over lags 1..max_lag:
+///   Q = n (n+2) * sum_k rho_k^2 / (n - k).
+/// Under the white-noise null, Q ~ chi-squared with max_lag degrees of
+/// freedom; values far above max_lag indicate serial correlation.
+double ljung_box(const std::vector<double>& xs, std::size_t max_lag);
+
+/// Convenience: true when Q exceeds the 99th percentile of the
+/// chi-squared(max_lag) distribution (Wilson-Hilferty approximation) —
+/// i.e. the series is significantly autocorrelated.
+bool is_autocorrelated(const std::vector<double>& xs, std::size_t max_lag);
+
+}  // namespace abw::stats

@@ -1,0 +1,39 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::inverse(double p) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::inverse on empty CDF");
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("EmpiricalCdf::inverse: p in (0,1]");
+  std::size_t idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size()))) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve() const {
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    pts.emplace_back(sorted_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(sorted_.size()));
+  }
+  return pts;
+}
+
+}  // namespace abw::stats

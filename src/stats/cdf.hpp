@@ -1,0 +1,34 @@
+// Empirical CDFs.  Figure 1 of the paper plots the CDF of the relative
+// error of the avail-bw sample mean; this module builds exactly that kind
+// of curve from a sample set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// Empirical cumulative distribution function over a fixed sample set.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF from samples (copied and sorted).  Empty input allowed;
+  /// then `at()` returns 0 everywhere.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse CDF: smallest sample s with F(s) >= p, p in (0, 1].
+  double inverse(double p) const;
+
+  /// Evaluation points for plotting: returns (x, F(x)) pairs at each
+  /// distinct sample value.
+  std::vector<std::pair<double, double>> curve() const;
+
+  std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace abw::stats

@@ -1,0 +1,56 @@
+#include "stats/cusum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/moments.hpp"
+#include "stats/trend.hpp"
+
+namespace abw::stats {
+
+std::optional<LevelShift> detect_level_shift(const std::vector<double>& xs,
+                                             const CusumConfig& cfg,
+                                             std::size_t baseline) {
+  if (xs.size() < 8) return std::nullopt;
+  if (baseline == 0) baseline = std::max<std::size_t>(4, xs.size() / 4);
+  baseline = std::min(baseline, xs.size() - 1);
+
+  std::vector<double> head(xs.begin(),
+                           xs.begin() + static_cast<std::ptrdiff_t>(baseline));
+  double mu = median(head);
+  // Scale: the larger of the baseline MAD and the whole-series MAD.  A
+  // short baseline under-estimates sigma often enough to wreck the
+  // in-control run length; the whole-series MAD is robust to a single
+  // mean shift (it contaminates at most half the deviations) and floors
+  // the scale safely, at the cost of slightly slower detection.
+  double sigma = 1.4826 * std::max(median_abs_deviation(head),
+                                   median_abs_deviation(xs));
+  if (sigma <= 0.0) return std::nullopt;  // constant series: nothing to detect
+
+  double up = 0.0, down = 0.0;
+  for (std::size_t i = baseline; i < xs.size(); ++i) {
+    double z = (xs[i] - mu) / sigma;
+    up = std::max(0.0, up + z - cfg.drift);
+    down = std::max(0.0, down - z - cfg.drift);
+    if (up > cfg.threshold) return LevelShift{i, true};
+    if (down > cfg.threshold) return LevelShift{i, false};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> segment_by_level_shifts(const std::vector<double>& xs,
+                                                 const CusumConfig& cfg) {
+  std::vector<std::size_t> bounds = {0};
+  std::size_t offset = 0;
+  while (offset + 8 < xs.size()) {
+    std::vector<double> rest(xs.begin() + static_cast<std::ptrdiff_t>(offset),
+                             xs.end());
+    auto shift = detect_level_shift(rest, cfg);
+    if (!shift) break;
+    offset += shift->at;
+    bounds.push_back(offset);
+  }
+  return bounds;
+}
+
+}  // namespace abw::stats

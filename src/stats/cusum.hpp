@@ -1,0 +1,47 @@
+// Level-shift (change-point) detection for OWD and avail-bw series.
+//
+// The paper's eighth misconception notes that an OWD time series "can be
+// analyzed with statistical tools to detect trends, measurement noise,
+// level shifts, etc."  This module supplies the level-shift part: a
+// two-sided CUSUM detector (Page 1954) over a robustly standardized
+// series, plus a convenience change-point splitter.  The avail-bw monitor
+// uses it to distinguish a persistent avail-bw regime change from
+// transient burstiness.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace abw::stats {
+
+/// CUSUM parameters, in units of the series' robust standard deviation
+/// (MAD * 1.4826).
+struct CusumConfig {
+  double drift = 0.5;      ///< k: slack per sample before evidence accrues
+  /// h: cumulated evidence required to alarm.  With k = 0.5, h = 8 gives
+  /// an in-control average run length of tens of thousands of samples —
+  /// long avail-bw monitoring series must not false-alarm on noise.
+  double threshold = 8.0;
+};
+
+/// Result of a detection pass.
+struct LevelShift {
+  std::size_t at = 0;   ///< index where the alarm fired
+  bool upward = false;  ///< direction of the shift
+};
+
+/// Runs a two-sided CUSUM over `xs`, standardized by the median and
+/// robust sigma of the first `baseline` samples (default: first quarter).
+/// Returns the first detected shift, or nullopt.  Series shorter than 8
+/// samples or with zero baseline spread never alarm.
+std::optional<LevelShift> detect_level_shift(const std::vector<double>& xs,
+                                             const CusumConfig& cfg = {},
+                                             std::size_t baseline = 0);
+
+/// Splits the series at successive detected shifts (re-baselining after
+/// each) and returns the segment boundaries, always starting with 0.
+std::vector<std::size_t> segment_by_level_shifts(const std::vector<double>& xs,
+                                                 const CusumConfig& cfg = {});
+
+}  // namespace abw::stats

@@ -1,0 +1,26 @@
+#include "stats/effective_bw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::stats {
+
+double effective_bandwidth(const std::vector<double>& window_loads, double s) {
+  if (window_loads.empty())
+    throw std::invalid_argument("effective_bandwidth: empty loads");
+  if (s <= 0.0) throw std::invalid_argument("effective_bandwidth: s must be > 0");
+  // log-mean-exp with max subtraction for numerical stability.
+  double m = *std::max_element(window_loads.begin(), window_loads.end());
+  double acc = 0.0;
+  for (double x : window_loads) acc += std::exp(s * (x - m));
+  acc /= static_cast<double>(window_loads.size());
+  return m + std::log(acc) / s;
+}
+
+double effective_avail_bw(double capacity, const std::vector<double>& window_loads,
+                          double s) {
+  return std::max(0.0, capacity - effective_bandwidth(window_loads, s));
+}
+
+}  // namespace abw::stats

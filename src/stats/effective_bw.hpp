@@ -1,0 +1,31 @@
+// Kelly's effective bandwidth (Kelly 1996, "Notes on effective
+// bandwidths").  The paper's multiple-bottleneck pitfall remarks that the
+// underestimation artifacts stem from the simplistic avail-bw definition
+// (Eq. 3), and points at effective bandwidth as a burstiness-aware
+// alternative:  alpha(s, t) = (1 / (s t)) log E[ exp(s X(0, t)) ],
+// where X(0, t) is the amount of traffic arriving in a window of length t.
+//
+// We estimate it empirically from a sequence of per-window byte counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// Empirical effective bandwidth of a traffic process.
+/// `window_loads` holds X_i = traffic (in rate units, e.g. Mb/s averaged
+/// over the window) observed in consecutive windows of length t;
+/// `s` is the space parameter (> 0): s -> 0 recovers the mean rate, large
+/// s approaches the peak rate.
+/// Returns alpha(s) in the same units as the loads.
+/// Throws std::invalid_argument for empty input or s <= 0.
+double effective_bandwidth(const std::vector<double>& window_loads, double s);
+
+/// Effective *available* bandwidth of a link: C - alpha(s), the largest
+/// extra rate that keeps the workload's effective demand below capacity at
+/// quality parameter s.  Clamped below at 0.
+double effective_avail_bw(double capacity, const std::vector<double>& window_loads,
+                          double s);
+
+}  // namespace abw::stats

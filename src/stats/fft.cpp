@@ -1,0 +1,58 @@
+#include "stats/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace abw::stats {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Core iterative FFT; sign = -1 for forward, +1 for inverse (unnormalized).
+void transform(std::vector<std::complex<double>>& a, int sign) {
+  std::size_t n = a.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = a[i + k];
+        std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { transform(data, -1); }
+
+void ifft(std::vector<std::complex<double>>& data) {
+  transform(data, +1);
+  double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= inv;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace abw::stats

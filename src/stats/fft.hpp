@@ -1,0 +1,22 @@
+// Iterative radix-2 Cooley-Tukey FFT.  Needed by the Davies-Harte exact
+// synthesis of fractional Gaussian noise (fgn.hpp), which in turn produces
+// the self-similar synthetic traces substituting for the paper's NLANR
+// trace (Figs. 1 and 6).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace abw::stats {
+
+/// In-place forward FFT.  data.size() must be a power of two (>= 1);
+/// throws std::invalid_argument otherwise.
+void fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Returns the smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace abw::stats

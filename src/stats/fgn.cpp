@@ -1,0 +1,58 @@
+#include "stats/fgn.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "stats/fft.hpp"
+
+namespace abw::stats {
+
+double fgn_autocovariance(double hurst, std::size_t lag) {
+  double k = static_cast<double>(lag);
+  double h2 = 2.0 * hurst;
+  return 0.5 * (std::pow(k + 1.0, h2) - 2.0 * std::pow(k, h2) +
+                std::pow(std::abs(k - 1.0), h2));
+}
+
+std::vector<double> generate_fgn(std::size_t n, double hurst, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("generate_fgn: n must be > 0");
+  if (hurst <= 0.0 || hurst >= 1.0)
+    throw std::invalid_argument("generate_fgn: hurst must be in (0,1)");
+
+  // Embed the covariance into a circulant of size m = 2 * next_pow2(n).
+  std::size_t half = next_pow2(n);
+  std::size_t m = 2 * half;
+
+  std::vector<std::complex<double>> c(m);
+  for (std::size_t k = 0; k <= half; ++k) c[k] = fgn_autocovariance(hurst, k);
+  for (std::size_t k = half + 1; k < m; ++k) c[k] = c[m - k];
+
+  fft(c);  // eigenvalues of the circulant (real, non-negative for fGn)
+
+  std::vector<std::complex<double>> v(m);
+  double msz = static_cast<double>(m);
+  for (std::size_t j = 0; j <= half; ++j) {
+    double lambda = c[j].real();
+    if (lambda < 0.0) {
+      // Theoretically impossible for fGn; clamp tiny negative round-off.
+      if (lambda < -1e-9) throw std::runtime_error("generate_fgn: negative eigenvalue");
+      lambda = 0.0;
+    }
+    if (j == 0 || j == half) {
+      v[j] = std::sqrt(lambda) * rng.normal();
+    } else {
+      double s = std::sqrt(lambda / 2.0);
+      v[j] = std::complex<double>(s * rng.normal(), s * rng.normal());
+      v[m - j] = std::conj(v[j]);
+    }
+  }
+
+  fft(v);
+  std::vector<double> out(n);
+  double norm = 1.0 / std::sqrt(msz);
+  for (std::size_t i = 0; i < n; ++i) out[i] = v[i].real() * norm;
+  return out;
+}
+
+}  // namespace abw::stats

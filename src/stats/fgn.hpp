@@ -1,0 +1,30 @@
+// Exact synthesis of fractional Gaussian noise (fGn) via the Davies-Harte
+// circulant-embedding method.
+//
+// The paper's Eq. (5) states that for an exactly self-similar avail-bw
+// process with Hurst parameter H, Var[A_tau] decays as tau^{-2(1-H)}.  To
+// reproduce the trace-driven experiments (Figs. 1 and 6) without the
+// proprietary NLANR trace, we synthesize traffic whose rate process is fGn
+// with a chosen H — giving us a ground-truth self-similar avail-bw process.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace abw::stats {
+
+/// Generates n samples of zero-mean, unit-variance fractional Gaussian
+/// noise with Hurst parameter hurst in (0, 1).  Uses Davies-Harte exact
+/// circulant embedding (O(n log n)); falls back to cumulative-sum fBm
+/// differencing only if an eigenvalue is (numerically) negative, which for
+/// fGn covariance does not occur.
+/// Throws std::invalid_argument for hurst outside (0, 1) or n == 0.
+std::vector<double> generate_fgn(std::size_t n, double hurst, Rng& rng);
+
+/// Theoretical autocovariance of unit-variance fGn at lag k:
+/// gamma(k) = 0.5 * (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
+double fgn_autocovariance(double hurst, std::size_t lag);
+
+}  // namespace abw::stats

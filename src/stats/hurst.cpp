@@ -1,0 +1,98 @@
+#include "stats/hurst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/moments.hpp"
+#include "stats/regression.hpp"
+
+namespace abw::stats {
+
+namespace {
+
+std::vector<double> block_means(const std::vector<double>& xs, std::size_t m) {
+  std::size_t blocks = xs.size() / m;
+  std::vector<double> out;
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += xs[b * m + i];
+    out.push_back(s / static_cast<double>(m));
+  }
+  return out;
+}
+
+std::vector<std::size_t> dyadic_levels(std::size_t n, std::size_t max_div) {
+  std::vector<std::size_t> levels;
+  for (std::size_t m = 1; m <= n / max_div; m *= 2) levels.push_back(m);
+  return levels;
+}
+
+}  // namespace
+
+std::vector<VtPoint> variance_time_plot(const std::vector<double>& xs,
+                                        const std::vector<std::size_t>& levels) {
+  std::vector<VtPoint> pts;
+  for (std::size_t m : levels) {
+    if (m == 0 || m > xs.size() / 2) continue;
+    std::vector<double> agg = block_means(xs, m);
+    if (agg.size() < 2) continue;
+    pts.push_back({m, variance(agg)});
+  }
+  return pts;
+}
+
+double hurst_variance_time(const std::vector<double>& xs) {
+  if (xs.size() < 32)
+    throw std::invalid_argument("hurst_variance_time: need >= 32 samples");
+  auto pts = variance_time_plot(xs, dyadic_levels(xs.size(), 8));
+  std::vector<double> lx, ly;
+  for (const auto& p : pts) {
+    if (p.variance <= 0.0) continue;
+    lx.push_back(std::log(static_cast<double>(p.m)));
+    ly.push_back(std::log(p.variance));
+  }
+  if (lx.size() < 2)
+    throw std::invalid_argument("hurst_variance_time: degenerate series");
+  LinearFit fit = linear_fit(lx, ly);
+  double h = 1.0 + fit.slope / 2.0;  // slope = 2H - 2
+  return std::clamp(h, 0.01, 0.99);
+}
+
+double hurst_rescaled_range(const std::vector<double>& xs) {
+  if (xs.size() < 32)
+    throw std::invalid_argument("hurst_rescaled_range: need >= 32 samples");
+  std::vector<double> lx, ly;
+  for (std::size_t m = 8; m <= xs.size() / 2; m *= 2) {
+    std::size_t blocks = xs.size() / m;
+    double rs_sum = 0.0;
+    std::size_t rs_n = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      auto begin = xs.begin() + static_cast<std::ptrdiff_t>(b * m);
+      std::vector<double> blk(begin, begin + static_cast<std::ptrdiff_t>(m));
+      double mu = mean(blk);
+      double cum = 0.0, mx = 0.0, mn = 0.0, ss = 0.0;
+      for (double x : blk) {
+        cum += x - mu;
+        mx = std::max(mx, cum);
+        mn = std::min(mn, cum);
+        ss += (x - mu) * (x - mu);
+      }
+      double sd = std::sqrt(ss / static_cast<double>(m));
+      if (sd > 0.0) {
+        rs_sum += (mx - mn) / sd;
+        ++rs_n;
+      }
+    }
+    if (rs_n == 0) continue;
+    lx.push_back(std::log(static_cast<double>(m)));
+    ly.push_back(std::log(rs_sum / static_cast<double>(rs_n)));
+  }
+  if (lx.size() < 2)
+    throw std::invalid_argument("hurst_rescaled_range: degenerate series");
+  LinearFit fit = linear_fit(lx, ly);
+  return std::clamp(fit.slope, 0.01, 0.99);
+}
+
+}  // namespace abw::stats

@@ -1,0 +1,34 @@
+// Hurst-parameter estimation.  The paper's definitions section contrasts
+// IID variance decay Var[A_tau]/k (Eq. 4) with self-similar decay
+// k^{-2(1-H)} (Eq. 5); these estimators let tests and benches verify which
+// regime a generated trace is in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// One point of a variance-time plot: aggregation level m and the sample
+/// variance of the m-aggregated (block-mean) series.
+struct VtPoint {
+  std::size_t m;
+  double variance;
+};
+
+/// Computes the variance-time plot of a series: for each aggregation level
+/// m in `levels`, the variance of block means of size m.  Levels larger
+/// than size()/2 are skipped (too few blocks for a variance).
+std::vector<VtPoint> variance_time_plot(const std::vector<double>& xs,
+                                        const std::vector<std::size_t>& levels);
+
+/// Variance-time Hurst estimator: fits log Var(m) ~ (2H-2) log m over the
+/// default dyadic levels {1, 2, 4, ..., n/8}.  Returns H clamped to (0, 1).
+/// Requires at least 32 samples.
+double hurst_variance_time(const std::vector<double>& xs);
+
+/// Rescaled-range (R/S) Hurst estimator over dyadic block sizes.
+/// Requires at least 32 samples.
+double hurst_rescaled_range(const std::vector<double>& xs);
+
+}  // namespace abw::stats

@@ -1,0 +1,64 @@
+#include "stats/kstest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::stats {
+
+double ks_statistic(std::vector<double> sample, const CdfFn& cdf) {
+  if (sample.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+  std::sort(sample.begin(), sample.end());
+  double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    double f = cdf(sample[i]);
+    double lo = static_cast<double>(i) / n;        // F_emp just below x_i
+    double hi = static_cast<double>(i + 1) / n;    // F_emp at x_i
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+double ks_pvalue(double d, std::size_t n) {
+  if (d <= 0.0) return 1.0;
+  double sqrt_n = std::sqrt(static_cast<double>(n));
+  double lambda = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+bool ks_fits(std::vector<double> sample, const CdfFn& cdf, double alpha) {
+  std::size_t n = sample.size();
+  double d = ks_statistic(std::move(sample), cdf);
+  return ks_pvalue(d, n) > alpha;
+}
+
+CdfFn exponential_cdf(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential_cdf: mean must be > 0");
+  return [mean](double x) { return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean); };
+}
+
+CdfFn pareto_cdf(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0)
+    throw std::invalid_argument("pareto_cdf: shape and scale must be > 0");
+  return [shape, scale](double x) {
+    return x <= scale ? 0.0 : 1.0 - std::pow(scale / x, shape);
+  };
+}
+
+CdfFn uniform_cdf(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("uniform_cdf: need lo < hi");
+  return [lo, hi](double x) {
+    if (x <= lo) return 0.0;
+    if (x >= hi) return 1.0;
+    return (x - lo) / (hi - lo);
+  };
+}
+
+}  // namespace abw::stats

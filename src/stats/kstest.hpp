@@ -1,0 +1,38 @@
+// One-sample Kolmogorov-Smirnov goodness-of-fit test.
+//
+// Used by the test suite to validate the traffic generators rigorously:
+// a Poisson source's interarrivals must be *distributionally*
+// exponential, a Pareto-gap source's gaps Pareto — not merely match a
+// mean.  (Mis-shaped generators would silently distort every burstiness
+// experiment in the paper.)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace abw::stats {
+
+/// A cumulative distribution function F(x) in [0, 1].
+using CdfFn = std::function<double(double)>;
+
+/// KS statistic D_n = sup_x |F_empirical(x) - F(x)| for the sample
+/// against the hypothesized CDF.  Throws std::invalid_argument on an
+/// empty sample.
+double ks_statistic(std::vector<double> sample, const CdfFn& cdf);
+
+/// Asymptotic p-value for D_n via the Kolmogorov distribution series
+/// Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2) with
+/// lambda = D_n (sqrt(n) + 0.12 + 0.11/sqrt(n)).
+double ks_pvalue(double d, std::size_t n);
+
+/// Convenience: true when the sample is consistent with the CDF at the
+/// given significance level (default 1%).
+bool ks_fits(std::vector<double> sample, const CdfFn& cdf, double alpha = 0.01);
+
+/// Ready-made CDFs for the distributions the generators use.
+CdfFn exponential_cdf(double mean);
+CdfFn pareto_cdf(double shape, double scale);
+CdfFn uniform_cdf(double lo, double hi);
+
+}  // namespace abw::stats

@@ -1,0 +1,60 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::stats {
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("linear_fit: size mismatch");
+  std::size_t n = xs.size();
+  if (n < 2) throw std::invalid_argument("linear_fit: need at least 2 points");
+
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  double mx = sx / static_cast<double>(n);
+  double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("linear_fit: x values are all equal");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.n = n;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;  // all ys equal and fit passes through them
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+std::vector<double> linear_detrend(const std::vector<double>& ys) {
+  if (ys.size() < 2) return ys;
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  LinearFit fit = linear_fit(xs, ys);
+  std::vector<double> out(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    out[i] = ys[i] - (fit.slope * xs[i] + fit.intercept);
+  return out;
+}
+
+}  // namespace abw::stats

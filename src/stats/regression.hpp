@@ -1,0 +1,29 @@
+// Ordinary least squares in one variable.  TOPP's avail-bw estimator fits
+// Ri/Ro against Ri above the avail-bw turning point: the slope is 1/Ct and
+// the intercept Rc/Ct (Melander et al. 2000/2002).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// Result of a simple linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+  std::size_t n = 0;       ///< number of points used
+};
+
+/// Fits y = a*x + b by OLS.  Requires xs.size() == ys.size() >= 2 and at
+/// least two distinct x values; throws std::invalid_argument otherwise.
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Removes the OLS line from an evenly spaced series (x = 0, 1, ..., n-1)
+/// and returns the residuals.  Used to strip receiver clock drift from
+/// long passive OWD records before variability analysis; do NOT apply it
+/// within a probing stream — it would erase the congestion trend itself.
+std::vector<double> linear_detrend(const std::vector<double>& ys);
+
+}  // namespace abw::stats

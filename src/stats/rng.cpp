@@ -1,0 +1,49 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::stats {
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  if (alpha <= 0.0 || xm <= 0.0)
+    throw std::invalid_argument("Rng::pareto: alpha and xm must be > 0");
+  // Inverse-CDF method: X = xm / U^(1/alpha), U ~ Uniform(0,1].
+  double u = 1.0 - uniform01();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw two words from the parent to seed the child; advances the parent
+  // so successive forks are independent.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace abw::stats

@@ -1,0 +1,57 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component in the library draws from an `abw::stats::Rng`
+// seeded explicitly, so that each experiment is exactly reproducible.  The
+// distributions offered here are the ones the paper's workloads need:
+// uniform, exponential (Poisson processes), Pareto (heavy-tailed ON/OFF
+// traffic), and normal (fGn synthesis).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace abw::stats {
+
+/// A seedable pseudo-random generator with the distributions used across
+/// the library.  Thin wrapper over std::mt19937_64; copyable so generators
+/// can fork deterministic sub-streams via `fork()`.
+class Rng {
+ public:
+  /// Constructs a generator from an explicit 64-bit seed.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (mean = 1/lambda).  mean must be > 0.
+  double exponential(double mean);
+
+  /// Pareto with shape `alpha` and scale (minimum value) `xm`:
+  /// P(X > x) = (xm/x)^alpha for x >= xm.  For alpha <= 1 the mean is
+  /// infinite; callers model heavy-tailed OFF periods with alpha in (1, 2).
+  double pareto(double alpha, double xm);
+
+  /// Standard normal (mean 0, stddev 1).
+  double normal();
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent deterministic child generator.  Used to give
+  /// each traffic source its own stream while keeping one experiment seed.
+  Rng fork();
+
+  /// Direct access for std distributions that need an engine.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace abw::stats

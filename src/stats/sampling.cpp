@@ -1,0 +1,40 @@
+#include "stats/sampling.hpp"
+
+#include <stdexcept>
+
+namespace abw::stats {
+
+std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng) {
+  if (count == 0) return {};
+  if (horizon <= 0.0)
+    throw std::invalid_argument("poisson_sample_times: horizon must be > 0");
+  double mean_gap = horizon / static_cast<double>(count + 1);
+  std::vector<double> times;
+  times.reserve(count);
+  // Redraw whole sequences until all `count` arrivals land inside the
+  // horizon; with mean gap horizon/(count+1) this succeeds quickly.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    times.clear();
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      t += rng.exponential(mean_gap);
+      if (t >= horizon) break;
+      times.push_back(t);
+    }
+    if (times.size() == count) return times;
+  }
+  // Extremely unlikely: fall back to periodic spacing.
+  return periodic_sample_times(count, horizon);
+}
+
+std::vector<double> periodic_sample_times(std::size_t count, double horizon) {
+  if (horizon <= 0.0)
+    throw std::invalid_argument("periodic_sample_times: horizon must be > 0");
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    times.push_back(static_cast<double>(i) * horizon / static_cast<double>(count));
+  return times;
+}
+
+}  // namespace abw::stats

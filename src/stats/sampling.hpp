@@ -1,0 +1,23 @@
+// Sampling-time generation.  The paper's Fig. 1 experiment collects k=20
+// avail-bw samples with *Poisson sampling* (PASTA: Poisson arrivals see
+// time averages), and Spruce spaces its packet pairs with exponential
+// interarrivals for the same reason.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace abw::stats {
+
+/// Returns `count` sample instants in [0, horizon) drawn from a Poisson
+/// process whose rate is chosen so ~count arrivals fit the horizon; the
+/// sequence is truncated/padded by redrawing to return exactly `count`
+/// strictly increasing times, all < horizon.
+std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng);
+
+/// Evenly spaced sample instants in [0, horizon): i * horizon / count.
+std::vector<double> periodic_sample_times(std::size_t count, double horizon);
+
+}  // namespace abw::stats

@@ -1,0 +1,78 @@
+// One-way-delay trend detection — Pathload's PCT and PDT statistics
+// (Jain & Dovrolis, IEEE/ACM ToN 2003).  The paper's "increasing OWDs is
+// equivalent to Ro < Ri" fallacy rests exactly on this machinery: a stream
+// of OWDs carries far more information than the single Ro/Ri number, and
+// these tests extract it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abw::stats {
+
+/// Tri-state outcome of a trend test on an OWD series.
+enum class Trend {
+  kIncreasing,     ///< delays trend upward: probing rate exceeds avail-bw
+  kNonIncreasing,  ///< no upward trend: probing rate is below avail-bw
+  kAmbiguous,      ///< test is inconclusive (grey region)
+};
+
+/// Returns a human-readable name for a Trend value.
+const char* to_string(Trend t);
+
+/// Parameters for the PCT/PDT tests; defaults follow the Pathload paper.
+struct TrendConfig {
+  double pct_increasing = 0.66;      ///< S_PCT above this => increasing
+  double pct_non_increasing = 0.54;  ///< S_PCT below this => non-increasing
+  double pdt_increasing = 0.55;      ///< S_PDT above this => increasing
+  double pdt_non_increasing = 0.45;  ///< S_PDT below this => non-increasing
+  /// Sensitivity floor, statistical part: a trend is only meaningful when
+  /// the spread of the group medians exceeds this multiple of the raw
+  /// series' median absolute deviation.
+  double min_range_mad_factor = 1.0;
+  /// Sensitivity floor, physical part (seconds): group-median spread must
+  /// also exceed this absolute value.  A genuine congestion trend grows
+  /// by at least packet-transmission-time quanta (hundreds of
+  /// microseconds at Mb/s capacities); receiver clock drift over one
+  /// stream is single-digit microseconds.  Without this floor, a few
+  /// microseconds of drift on an otherwise deterministic (phase-locked
+  /// CBR) path would register as a statistically significant "trend".
+  /// Pathload applies the analogous measurement-resolution filter.
+  double min_range_seconds = 50e-6;
+};
+
+/// Pairwise Comparison Test statistic: fraction of consecutive group
+/// medians that increase.  Input is the raw OWD series; it is internally
+/// partitioned into ~sqrt(n) groups of medians to suppress noise.
+/// Returns a value in [0, 1]; 0.5 means no trend.
+double pct_statistic(const std::vector<double>& owds);
+
+/// Pairwise Difference Test statistic:
+/// (last median - first median) / sum |consecutive differences|.
+/// Returns a value in [-1, 1]; near 1 means a strong monotone increase.
+double pdt_statistic(const std::vector<double>& owds);
+
+/// Classifies via the PCT thresholds only.
+Trend pct_trend(const std::vector<double>& owds, const TrendConfig& cfg = {});
+
+/// Classifies via the PDT thresholds only.
+Trend pdt_trend(const std::vector<double>& owds, const TrendConfig& cfg = {});
+
+/// Pathload's combined rule: if either test reports increasing and the
+/// other does not contradict (is not non-increasing), the stream is
+/// increasing; symmetrically for non-increasing; otherwise ambiguous.
+Trend combined_trend(const std::vector<double>& owds, const TrendConfig& cfg = {});
+
+/// Reduces the OWD series to ~sqrt(n) group medians, the robust summary
+/// both statistics are computed on.  Exposed for tests and for Fig. 5.
+std::vector<double> group_medians(const std::vector<double>& owds);
+
+/// Median absolute deviation of a series (robust scale estimate).
+double median_abs_deviation(const std::vector<double>& xs);
+
+/// True when the series carries enough signal for a trend verdict:
+/// spread of group medians > cfg.min_range_mad_factor * MAD(raw).
+bool trend_signal_significant(const std::vector<double>& owds,
+                              const TrendConfig& cfg = {});
+
+}  // namespace abw::stats

@@ -1,0 +1,105 @@
+#include "tcp/flows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abw::tcp {
+
+PersistentFlowSet::PersistentFlowSet(sim::Simulator& sim, sim::Path& path,
+                                     TcpReceiverHub& hub,
+                                     std::uint32_t first_flow_id, std::size_t count,
+                                     const TcpConfig& cfg, std::size_t hop) {
+  if (count == 0) throw std::invalid_argument("PersistentFlowSet: count == 0");
+  TcpConfig per_flow = cfg;
+  per_flow.bytes_to_send = 0;  // persistent = unbounded
+  flows_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flows_.push_back(std::make_unique<TcpConnection>(
+        sim, path, hub, first_flow_id + static_cast<std::uint32_t>(i), per_flow,
+        hop));
+  }
+}
+
+void PersistentFlowSet::start(sim::SimTime t0, sim::SimTime stagger,
+                              stats::Rng& rng) {
+  for (auto& f : flows_) {
+    sim::SimTime offset =
+        stagger > 0 ? sim::from_seconds(rng.uniform(0.0, sim::to_seconds(stagger)))
+                    : 0;
+    f->start(t0 + offset);
+  }
+}
+
+double PersistentFlowSet::aggregate_throughput_bps(sim::SimTime now) const {
+  double total = 0.0;
+  for (const auto& f : flows_) total += f->throughput_bps(now);
+  return total;
+}
+
+ShortFlowGenerator::ShortFlowGenerator(sim::Simulator& sim, sim::Path& path,
+                                       TcpReceiverHub& hub,
+                                       std::uint32_t first_flow_id,
+                                       const ShortFlowConfig& cfg, stats::Rng rng,
+                                       std::size_t hop)
+    : sim_(sim),
+      path_(path),
+      hub_(hub),
+      next_flow_id_(first_flow_id),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      hop_(hop) {
+  if (cfg.flow_arrival_rate <= 0.0 || cfg.mean_flow_bytes <= 0.0 ||
+      cfg.size_shape <= 1.0)
+    throw std::invalid_argument("ShortFlowGenerator: bad config");
+}
+
+void ShortFlowGenerator::start(sim::SimTime t0, sim::SimTime t1) {
+  if (t1 <= t0) throw std::invalid_argument("ShortFlowGenerator: empty window");
+  t1_ = t1;
+  sim_.at(t0, [this] { arm_next(); });
+}
+
+void ShortFlowGenerator::arm_next() {
+  sim::SimTime gap = sim::from_seconds(rng_.exponential(1.0 / cfg_.flow_arrival_rate));
+  sim::SimTime when = sim_.now() + gap;
+  if (when >= t1_) return;
+  sim_.at(when, [this] {
+    spawn();
+    arm_next();
+  });
+}
+
+void ShortFlowGenerator::spawn() {
+  ++flows_started_;
+  reap();
+  // Pareto sizes, scale chosen so the mean matches cfg.mean_flow_bytes.
+  double xm = cfg_.mean_flow_bytes * (cfg_.size_shape - 1.0) / cfg_.size_shape;
+  auto bytes = static_cast<std::uint64_t>(
+      std::max(1.0, rng_.pareto(cfg_.size_shape, xm)));
+  TcpConfig per_flow = cfg_.tcp;
+  per_flow.bytes_to_send = bytes;
+  auto conn = std::make_unique<TcpConnection>(sim_, path_, hub_, next_flow_id_++,
+                                              per_flow, hop_);
+  TcpConnection* raw = conn.get();
+  raw->set_on_complete([this] { ++flows_completed_; });
+  live_.push_back(std::move(conn));
+  raw->start(sim_.now());
+}
+
+void ShortFlowGenerator::reap() {
+  auto it = std::remove_if(live_.begin(), live_.end(), [this](const auto& c) {
+    if (!c->completed()) return false;
+    reaped_acked_bytes_ += c->acked_bytes();
+    return true;
+  });
+  live_.erase(it, live_.end());
+}
+
+std::uint64_t ShortFlowGenerator::total_acked_bytes() const {
+  std::uint64_t total = reaped_acked_bytes_;
+  for (const auto& c : live_) total += c->acked_bytes();
+  return total;
+}
+
+}  // namespace abw::tcp

@@ -1,0 +1,88 @@
+// Cross-traffic flow populations for the TCP-throughput experiment
+// (Fig. 7): window-limited persistent transfers and an aggregate of many
+// short TCP flows.  Both are *congestion responsive* — the property the
+// paper shows makes bulk-TCP throughput deviate from the avail-bw in
+// either direction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "tcp/tcp.hpp"
+
+namespace abw::tcp {
+
+/// A fixed set of persistent (unbounded) TCP transfers, each capped by a
+/// small advertised window — the paper's "a few persistent TCP transfers
+/// limited by their advertised windows".
+class PersistentFlowSet {
+ public:
+  /// Creates `count` connections with the given per-flow config, flow ids
+  /// starting at `first_flow_id`, entering at `hop`.
+  PersistentFlowSet(sim::Simulator& sim, sim::Path& path, TcpReceiverHub& hub,
+                    std::uint32_t first_flow_id, std::size_t count,
+                    const TcpConfig& cfg, std::size_t hop = 0);
+
+  /// Staggers connection starts uniformly over [t0, t0 + stagger).
+  void start(sim::SimTime t0, sim::SimTime stagger, stats::Rng& rng);
+
+  /// Aggregate goodput of the set, bits/s.
+  double aggregate_throughput_bps(sim::SimTime now) const;
+
+  std::size_t size() const { return flows_.size(); }
+  TcpConnection& flow(std::size_t i) { return *flows_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<TcpConnection>> flows_;
+};
+
+/// Parameters for the short-flow workload ("an aggregate of many short
+/// TCP transfers"): Poisson flow arrivals, Pareto-ish flow sizes.
+struct ShortFlowConfig {
+  double flow_arrival_rate = 20.0;        ///< flows per second
+  double mean_flow_bytes = 50e3;          ///< mean transfer size
+  double size_shape = 1.8;                ///< Pareto shape of flow sizes
+  TcpConfig tcp;                          ///< per-flow TCP parameters
+};
+
+/// Spawns short TCP transfers as a Poisson process over an active window;
+/// completed connections are reaped lazily.
+class ShortFlowGenerator {
+ public:
+  ShortFlowGenerator(sim::Simulator& sim, sim::Path& path, TcpReceiverHub& hub,
+                     std::uint32_t first_flow_id, const ShortFlowConfig& cfg,
+                     stats::Rng rng, std::size_t hop = 0);
+
+  /// Activates flow arrivals during [t0, t1).
+  void start(sim::SimTime t0, sim::SimTime t1);
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+
+  /// Payload bytes acked across all flows (live and reaped), for offered
+  /// load accounting.
+  std::uint64_t total_acked_bytes() const;
+
+ private:
+  void arm_next();
+  void spawn();
+  void reap();
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  TcpReceiverHub& hub_;
+  std::uint32_t next_flow_id_;
+  ShortFlowConfig cfg_;
+  stats::Rng rng_;
+  std::size_t hop_;
+
+  sim::SimTime t1_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t reaped_acked_bytes_ = 0;
+  std::vector<std::unique_ptr<TcpConnection>> live_;
+};
+
+}  // namespace abw::tcp

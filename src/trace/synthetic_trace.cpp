@@ -1,0 +1,41 @@
+#include "trace/synthetic_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/fgn.hpp"
+
+namespace abw::trace {
+
+PacketTrace synthesize_selfsimilar_trace(const SyntheticTraceConfig& cfg,
+                                         stats::Rng& rng) {
+  if (cfg.capacity_bps <= 0.0 || cfg.window <= 0 || cfg.duration <= cfg.window)
+    throw std::invalid_argument("synthesize_selfsimilar_trace: bad config");
+  if (cfg.mean_utilization <= 0.0 || cfg.mean_utilization >= 1.0)
+    throw std::invalid_argument("synthesize_selfsimilar_trace: utilization in (0,1)");
+
+  auto windows = static_cast<std::size_t>(cfg.duration / cfg.window);
+  std::vector<double> noise = stats::generate_fgn(windows, cfg.hurst, rng);
+
+  double mean_rate = cfg.mean_utilization * cfg.capacity_bps;
+  traffic::SizeDistribution sizes = cfg.trimodal_sizes
+                                        ? traffic::SizeDistribution::internet_mix()
+                                        : traffic::SizeDistribution::fixed(1500);
+
+  PacketTrace out(cfg.capacity_bps);
+  sim::SimTime t = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    double rate = mean_rate * (1.0 + cfg.rel_std * noise[w]);
+    rate = std::clamp(rate, 0.02 * mean_rate, cfg.capacity_bps);
+    sim::SimTime window_end = static_cast<sim::SimTime>(w + 1) * cfg.window;
+    double mean_gap_s = sizes.mean() * 8.0 / rate;
+    while (t < window_end) {
+      out.add(t, sizes.sample(rng));
+      t += sim::from_seconds(rng.exponential(mean_gap_s));
+    }
+  }
+  return out;
+}
+
+}  // namespace abw::trace

@@ -1,0 +1,37 @@
+// Synthetic substitute for the paper's NLANR trace (ANL-1070432720, OC-3).
+//
+// The paper uses the trace solely as a realization of a bursty,
+// long-range-dependent traffic process on a link of known capacity, from
+// which the avail-bw process A_tau(t) is computed at time scales
+// 1-100 ms.  We synthesize an equivalent: packet arrivals on an OC-3
+// (155.52 Mb/s) link whose windowed rate follows fractional Gaussian
+// noise with a chosen Hurst parameter, with realistic trimodal Internet
+// packet sizes.  DESIGN.md documents this substitution.
+#pragma once
+
+#include "sim/time.hpp"
+#include "stats/rng.hpp"
+#include "trace/packet_trace.hpp"
+#include "traffic/packet_size.hpp"
+
+namespace abw::trace {
+
+/// Parameters of the synthetic self-similar trace.
+struct SyntheticTraceConfig {
+  double capacity_bps = 155.52e6;  ///< OC-3, as in the paper's trace
+  double mean_utilization = 0.45;  ///< leaves ~85 Mb/s mean avail-bw
+  double rel_std = 0.25;           ///< per-window rate stddev / mean rate
+  double hurst = 0.8;              ///< long-range dependence strength
+  sim::SimTime window = sim::kMillisecond;  ///< rate-modulation window
+  sim::SimTime duration = 30 * sim::kSecond;
+  bool trimodal_sizes = true;      ///< 40/576/1500 B mix vs fixed 1500 B
+};
+
+/// Synthesizes a packet trace per the config.  The windowed arrival-rate
+/// process is mean_util*C * (1 + rel_std * fGn(H)), clamped to
+/// [0, capacity]; packets arrive as a Poisson stream within each window.
+/// Deterministic given the RNG seed.
+PacketTrace synthesize_selfsimilar_trace(const SyntheticTraceConfig& cfg,
+                                         stats::Rng& rng);
+
+}  // namespace abw::trace

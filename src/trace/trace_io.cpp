@@ -1,0 +1,74 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace abw::trace {
+
+namespace {
+constexpr const char* kHeaderPrefix = "# abw-trace v1 capacity_bps=";
+}
+
+void write_trace_csv(const PacketTrace& trace, std::ostream& os) {
+  os << kHeaderPrefix << trace.capacity_bps() << '\n';
+  for (const auto& r : trace.records()) os << r.at << ',' << r.size_bytes << '\n';
+  if (!os) throw std::runtime_error("write_trace_csv: stream error");
+}
+
+void save_trace_csv(const PacketTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_trace_csv: cannot open " + path);
+  write_trace_csv(trace, os);
+}
+
+PacketTrace read_trace_csv(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header) || header.rfind(kHeaderPrefix, 0) != 0)
+    throw std::runtime_error("read_trace_csv: missing abw-trace header");
+  double capacity = 0.0;
+  try {
+    capacity = std::stod(header.substr(std::string(kHeaderPrefix).size()));
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_trace_csv: bad capacity in header");
+  }
+  PacketTrace trace(capacity);
+
+  std::string line;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t comma = line.find(',');
+    if (comma == std::string::npos)
+      throw std::runtime_error("read_trace_csv: missing comma at line " +
+                               std::to_string(lineno));
+    sim::SimTime at = 0;
+    std::uint32_t size = 0;
+    try {
+      at = std::stoll(line.substr(0, comma));
+      size = static_cast<std::uint32_t>(std::stoul(line.substr(comma + 1)));
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("read_trace_csv: non-numeric field at line " +
+                               std::to_string(lineno));
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("read_trace_csv: value out of range at line " +
+                               std::to_string(lineno));
+    }
+    try {
+      trace.add(at, size);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("read_trace_csv: " + std::string(e.what()) +
+                               " at line " + std::to_string(lineno));
+    }
+  }
+  return trace;
+}
+
+PacketTrace load_trace_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  return read_trace_csv(is);
+}
+
+}  // namespace abw::trace

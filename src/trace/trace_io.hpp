@@ -1,0 +1,28 @@
+// Trace persistence: save/load packet traces as CSV so experiments can be
+// re-analyzed offline or shared — the role the NLANR archive played for
+// the paper.  Format:
+//
+//   # abw-trace v1 capacity_bps=<double>
+//   <timestamp_ns>,<size_bytes>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/packet_trace.hpp"
+
+namespace abw::trace {
+
+/// Writes the trace in CSV form.  Throws std::runtime_error on I/O error.
+void save_trace_csv(const PacketTrace& trace, const std::string& path);
+
+/// Stream variants for testing without touching the filesystem.
+void write_trace_csv(const PacketTrace& trace, std::ostream& os);
+
+/// Parses a CSV trace.  Throws std::runtime_error on malformed input
+/// (bad header, non-numeric fields, out-of-order timestamps).
+PacketTrace load_trace_csv(const std::string& path);
+PacketTrace read_trace_csv(std::istream& is);
+
+}  // namespace abw::trace

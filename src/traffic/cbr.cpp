@@ -1,0 +1,22 @@
+#include "traffic/cbr.hpp"
+
+#include <stdexcept>
+
+namespace abw::traffic {
+
+CbrGenerator::CbrGenerator(sim::Simulator& sim, sim::Path& path,
+                           std::size_t entry_hop, bool one_hop,
+                           std::uint32_t flow_id, stats::Rng rng, double rate_bps,
+                           std::uint32_t packet_size)
+    : Generator(sim, path, entry_hop, one_hop, flow_id, std::move(rng)),
+      packet_size_(packet_size) {
+  if (rate_bps <= 0.0 || packet_size == 0)
+    throw std::invalid_argument("CbrGenerator: rate and size must be > 0");
+  gap_ = sim::transmission_time(packet_size, rate_bps);
+}
+
+sim::SimTime CbrGenerator::next_gap(stats::Rng&, sim::SimTime) { return gap_; }
+
+std::uint32_t CbrGenerator::next_size(stats::Rng&) { return packet_size_; }
+
+}  // namespace abw::traffic

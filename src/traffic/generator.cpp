@@ -1,0 +1,57 @@
+#include "traffic/generator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abw::traffic {
+
+Generator::Generator(sim::Simulator& sim, sim::Path& path, std::size_t entry_hop,
+                     bool one_hop, std::uint32_t flow_id, stats::Rng rng)
+    : sim_(sim),
+      path_(path),
+      entry_hop_(entry_hop),
+      one_hop_(one_hop),
+      flow_id_(flow_id),
+      rng_(std::move(rng)) {
+  if (entry_hop >= path.hop_count())
+    throw std::invalid_argument("Generator: entry_hop out of range");
+}
+
+void Generator::start(sim::SimTime t0, sim::SimTime t1) {
+  if (started_) throw std::logic_error("Generator::start called twice");
+  if (t1 <= t0) throw std::invalid_argument("Generator: empty active window");
+  started_ = true;
+  t0_ = t0;
+  t1_ = t1;
+  sim_.at(t0, [this] { arm_next(); });
+}
+
+void Generator::arm_next() {
+  sim::SimTime gap = next_gap(rng_, sim_.now());
+  sim::SimTime when = sim_.now() + gap;
+  if (when >= t1_) return;  // active window over
+  sim_.at(when, [this] { emit(); });
+}
+
+void Generator::emit() {
+  sim::Packet pkt;
+  pkt.id = sim_.next_packet_id();
+  pkt.type = sim::PacketType::kCross;
+  pkt.size_bytes = next_size(rng_);
+  pkt.flow_id = flow_id_;
+  pkt.seq = seq_++;
+  pkt.exit_hop = one_hop_ ? static_cast<std::uint32_t>(entry_hop_) : sim::kEndToEnd;
+  pkt.send_time = sim_.now();
+  ++packets_sent_;
+  bytes_sent_ += pkt.size_bytes;
+  path_.inject(entry_hop_, pkt);
+  arm_next();
+}
+
+double Generator::offered_rate() const {
+  sim::SimTime elapsed = (sim_.now() < t1_ ? sim_.now() : t1_) - t0_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes_sent_) * 8.0 / sim::to_seconds(elapsed);
+}
+
+}  // namespace abw::traffic

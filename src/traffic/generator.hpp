@@ -1,0 +1,70 @@
+// Base class for open-loop cross-traffic generators.
+//
+// A generator owns an arrival process (interarrival gaps + packet sizes)
+// and self-schedules injections into one hop of a Path over an active
+// window [t0, t1).  One-hop persistence (the Fig. 4 multi-bottleneck
+// workload: traffic "enters the link i and exits at link i+1") is
+// expressed by stamping each packet's exit_hop with the entry hop.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace abw::traffic {
+
+/// Abstract open-loop packet generator.
+class Generator {
+ public:
+  /// `entry_hop` is the path hop the packets enter; if `one_hop` they exit
+  /// right after that hop, otherwise they travel to the path receiver.
+  Generator(sim::Simulator& sim, sim::Path& path, std::size_t entry_hop,
+            bool one_hop, std::uint32_t flow_id, stats::Rng rng);
+  virtual ~Generator() = default;
+
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+
+  /// Activates the generator during [t0, t1).  The first packet arrives at
+  /// t0 + one interarrival gap (so independent generators don't phase-align
+  /// at t0).  May be called once.
+  void start(sim::SimTime t0, sim::SimTime t1);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Average offered rate over the active window so far, bits/s.
+  double offered_rate() const;
+
+ protected:
+  /// Next interarrival gap; called once per packet.  `now` is the current
+  /// simulated time (rate-modulated processes need it).
+  virtual sim::SimTime next_gap(stats::Rng& rng, sim::SimTime now) = 0;
+
+  /// Size of the next packet in bytes.
+  virtual std::uint32_t next_size(stats::Rng& rng) = 0;
+
+  stats::Rng& rng() { return rng_; }
+
+ private:
+  void arm_next();
+  void emit();
+
+  sim::Simulator& sim_;
+  sim::Path& path_;
+  std::size_t entry_hop_;
+  bool one_hop_;
+  std::uint32_t flow_id_;
+  stats::Rng rng_;
+
+  sim::SimTime t0_ = 0, t1_ = 0;
+  bool started_ = false;
+  std::uint32_t seq_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace abw::traffic

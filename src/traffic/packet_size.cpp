@@ -1,0 +1,47 @@
+#include "traffic/packet_size.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abw::traffic {
+
+SizeDistribution SizeDistribution::fixed(std::uint32_t size) {
+  if (size == 0) throw std::invalid_argument("SizeDistribution: zero size");
+  return SizeDistribution({size}, {1.0}, static_cast<double>(size));
+}
+
+SizeDistribution SizeDistribution::modal(
+    std::vector<std::pair<std::uint32_t, double>> modes) {
+  if (modes.empty()) throw std::invalid_argument("SizeDistribution: no modes");
+  double total = 0.0;
+  for (const auto& [size, w] : modes) {
+    if (size == 0 || w <= 0.0)
+      throw std::invalid_argument("SizeDistribution: invalid mode");
+    total += w;
+  }
+  std::vector<std::uint32_t> sizes;
+  std::vector<double> cum;
+  double acc = 0.0, mean = 0.0;
+  for (const auto& [size, w] : modes) {
+    acc += w / total;
+    sizes.push_back(size);
+    cum.push_back(acc);
+    mean += static_cast<double>(size) * (w / total);
+  }
+  cum.back() = 1.0;  // guard against floating-point shortfall
+  return SizeDistribution(std::move(sizes), std::move(cum), mean);
+}
+
+SizeDistribution SizeDistribution::internet_mix() {
+  return modal({{40, 0.4}, {576, 0.2}, {1500, 0.4}});
+}
+
+std::uint32_t SizeDistribution::sample(stats::Rng& rng) const {
+  double u = rng.uniform01();
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  auto idx = static_cast<std::size_t>(it - cum_.begin());
+  if (idx >= sizes_.size()) idx = sizes_.size() - 1;
+  return sizes_[idx];
+}
+
+}  // namespace abw::traffic

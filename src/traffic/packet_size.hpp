@@ -1,0 +1,45 @@
+// Packet-size distributions for cross traffic.
+//
+// The paper's "packet pairs are as good as packet trains" fallacy hinges on
+// cross traffic having *discrete, strongly modal* packet sizes (one 1500 B
+// packet vs. two 40 B packets interleaving a probe pair), so size
+// distributions are first-class here: fixed, empirical-modal (the classic
+// 40/576/1500 Internet mix), and uniform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace abw::traffic {
+
+/// A discrete packet-size distribution: sizes with probabilities.
+class SizeDistribution {
+ public:
+  /// Point mass at `size` bytes.
+  static SizeDistribution fixed(std::uint32_t size);
+
+  /// Modal mix: {(size, weight)}; weights are normalized internally.
+  static SizeDistribution modal(std::vector<std::pair<std::uint32_t, double>> modes);
+
+  /// The classic Internet trimodal mix: 40 B (40%), 576 B (20%), 1500 B (40%).
+  static SizeDistribution internet_mix();
+
+  /// Draws a size.
+  std::uint32_t sample(stats::Rng& rng) const;
+
+  /// Mean size in bytes.
+  double mean() const { return mean_; }
+
+ private:
+  SizeDistribution(std::vector<std::uint32_t> sizes, std::vector<double> cum,
+                   double mean)
+      : sizes_(std::move(sizes)), cum_(std::move(cum)), mean_(mean) {}
+
+  std::vector<std::uint32_t> sizes_;
+  std::vector<double> cum_;  // cumulative probabilities, back() == 1
+  double mean_;
+};
+
+}  // namespace abw::traffic

@@ -1,0 +1,128 @@
+// Tests for the KS goodness-of-fit machinery, then its application:
+// distributional validation of every stochastic generator in the library.
+#include <gtest/gtest.h>
+
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/kstest.hpp"
+#include "stats/rng.hpp"
+#include "traffic/pareto_gaps.hpp"
+#include "traffic/poisson.hpp"
+
+namespace {
+
+using namespace abw;
+using abw::sim::kSecond;
+
+// ----------------------------------------------------------- machinery ---
+
+TEST(KsTest, PerfectFitHasHighPvalue) {
+  // Deterministic quantile sample of the uniform: the best possible fit.
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back((i + 0.5) / 1000.0);
+  double d = stats::ks_statistic(xs, stats::uniform_cdf(0, 1));
+  EXPECT_LT(d, 0.002);
+  EXPECT_GT(stats::ks_pvalue(d, xs.size()), 0.99);
+}
+
+TEST(KsTest, ExponentialSampleFitsExponential) {
+  stats::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(2.0));
+  EXPECT_TRUE(stats::ks_fits(xs, stats::exponential_cdf(2.0)));
+}
+
+TEST(KsTest, ExponentialSampleRejectsWrongMean) {
+  stats::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.exponential(2.0));
+  EXPECT_FALSE(stats::ks_fits(xs, stats::exponential_cdf(3.0)));
+}
+
+TEST(KsTest, ParetoSampleFitsPareto) {
+  stats::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.pareto(1.5, 2.0));
+  EXPECT_TRUE(stats::ks_fits(xs, stats::pareto_cdf(1.5, 2.0)));
+  EXPECT_FALSE(stats::ks_fits(xs, stats::exponential_cdf(6.0)));
+}
+
+TEST(KsTest, NormalSampleRejectsUniform) {
+  stats::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal());
+  EXPECT_FALSE(stats::ks_fits(xs, stats::uniform_cdf(-3, 3)));
+}
+
+TEST(KsTest, PvalueMonotoneInStatistic) {
+  EXPECT_GT(stats::ks_pvalue(0.01, 1000), stats::ks_pvalue(0.05, 1000));
+  EXPECT_GT(stats::ks_pvalue(0.05, 100), stats::ks_pvalue(0.05, 10000));
+  EXPECT_DOUBLE_EQ(stats::ks_pvalue(0.0, 100), 1.0);
+}
+
+TEST(KsTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(stats::ks_statistic({}, stats::uniform_cdf(0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(stats::exponential_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(stats::pareto_cdf(1.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(stats::uniform_cdf(1.0, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------- generator distributions ---
+
+struct TapFixture {
+  sim::Simulator simu;
+  sim::Path path;
+  sim::CountingSink sink;
+  std::vector<double> gaps;
+  sim::SimTime last = -1;
+
+  TapFixture() : path(simu, {make_cfg()}) {
+    path.set_receiver(&sink);
+    path.link(0).set_arrival_tap([this](const sim::Packet&, sim::SimTime t) {
+      if (last >= 0) gaps.push_back(sim::to_seconds(t - last));
+      last = t;
+    });
+  }
+  static sim::LinkConfig make_cfg() {
+    sim::LinkConfig cfg;
+    cfg.capacity_bps = 1e9;
+    cfg.queue_limit_bytes = 64 << 20;
+    return cfg;
+  }
+};
+
+TEST(GeneratorDistribution, PoissonGapsPassKsAgainstExponential) {
+  TapFixture f;
+  traffic::PoissonGenerator g(f.simu, f.path, 0, false, 1, stats::Rng(5), 25e6,
+                              traffic::SizeDistribution::fixed(1500));
+  g.start(0, 30 * kSecond);
+  f.simu.run_until(30 * kSecond);
+  ASSERT_GT(f.gaps.size(), 5000u);
+  double mean_gap = 1500.0 * 8.0 / 25e6;
+  EXPECT_TRUE(stats::ks_fits(f.gaps, stats::exponential_cdf(mean_gap)));
+}
+
+TEST(GeneratorDistribution, ParetoGapsPassKsAgainstPareto) {
+  TapFixture f;
+  constexpr double kShape = 1.9, kRate = 25e6;
+  traffic::ParetoGapGenerator g(f.simu, f.path, 0, false, 1, stats::Rng(6),
+                                kRate, 1500, kShape);
+  g.start(0, 30 * kSecond);
+  f.simu.run_until(30 * kSecond);
+  ASSERT_GT(f.gaps.size(), 3000u);
+  double mean_gap = 1500.0 * 8.0 / kRate;
+  double scale = mean_gap * (kShape - 1.0) / kShape;
+  EXPECT_TRUE(stats::ks_fits(f.gaps, stats::pareto_cdf(kShape, scale)));
+  // ... and they are distinguishable from exponential gaps.
+  EXPECT_FALSE(stats::ks_fits(f.gaps, stats::exponential_cdf(mean_gap)));
+}
+
+TEST(GeneratorDistribution, RngUniformPassesKs) {
+  stats::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.uniform01());
+  EXPECT_TRUE(stats::ks_fits(xs, stats::uniform_cdf(0, 1)));
+}
+
+}  // namespace

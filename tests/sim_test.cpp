@@ -1,0 +1,414 @@
+// Tests for the discrete-event simulator: scheduler ordering, clock
+// semantics, link service behaviour, utilization metering (the ground
+// truth behind the paper's Eqs. 1-3), and path routing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+#include "sim/path.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/util_meter.hpp"
+
+namespace {
+
+using namespace abw::sim;
+
+// --------------------------------------------------------------- time ---
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_millis(1.0), kMillisecond);
+  EXPECT_EQ(from_micros(1.0), kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+}
+
+TEST(Time, TransmissionTime) {
+  // 1500 B at 50 Mb/s = 240 us.
+  EXPECT_EQ(transmission_time(1500, 50e6), 240 * kMicrosecond);
+  // 40 B at 100 Mb/s = 3.2 us.
+  EXPECT_EQ(transmission_time(40, 100e6), from_micros(3.2));
+}
+
+// ---------------------------------------------------------- scheduler ---
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  while (!s.empty()) s.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.schedule(7, [&order, i] { order.push_back(i); });
+  while (!s.empty()) s.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RejectsPast) {
+  Scheduler s;
+  s.schedule(10, [] {});
+  (void)s.pop();
+  EXPECT_THROW(s.schedule(5, [] {}), std::logic_error);
+  EXPECT_NO_THROW(s.schedule(10, [] {}));  // same time as last pop is fine
+}
+
+TEST(Scheduler, PopOnEmptyThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.pop(), std::logic_error);
+}
+
+// ---------------------------------------------------------- simulator ---
+
+TEST(Simulator, ClockAdvancesBeforeCallback) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.after(100, [&] { seen = sim.now(); });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, CallbackSchedulingChains) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilConditionStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.at(i * 10, [&] { ++count; });
+  bool met = sim.run_until_condition(1000, [&] { return count == 3; });
+  EXPECT_TRUE(met);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, RunUntilConditionRespectsDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.at(500, [&] { ++count; });
+  bool met = sim.run_until_condition(100, [&] { return count > 0; });
+  EXPECT_FALSE(met);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.run_until(100);
+  EXPECT_THROW(sim.at(50, [] {}), std::logic_error);
+  EXPECT_THROW(sim.after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, PacketIdsAreUnique) {
+  Simulator sim;
+  auto a = sim.next_packet_id();
+  auto b = sim.next_packet_id();
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------- meter ---
+
+TEST(UtilizationMeter, ExactWindowQueries) {
+  UtilizationMeter m(100e6);
+  m.add_busy(0, 100);
+  m.add_busy(200, 300);
+  EXPECT_EQ(m.busy_time(0, 300), 200);
+  EXPECT_EQ(m.busy_time(50, 250), 100);   // half of each interval
+  EXPECT_EQ(m.busy_time(100, 200), 0);    // the idle gap
+  EXPECT_EQ(m.busy_time(250, 1000), 50);
+  EXPECT_DOUBLE_EQ(m.utilization(0, 400), 0.5);
+  EXPECT_DOUBLE_EQ(m.avail_bw(0, 400), 50e6);
+}
+
+TEST(UtilizationMeter, CoalescesBackToBack) {
+  UtilizationMeter m(1e6);
+  m.add_busy(0, 10);
+  m.add_busy(10, 20);  // adjacent: must merge
+  EXPECT_EQ(m.interval_count(), 1u);
+  EXPECT_EQ(m.busy_time(0, 20), 20);
+}
+
+TEST(UtilizationMeter, RejectsOverlapsAndEmpty) {
+  UtilizationMeter m(1e6);
+  m.add_busy(0, 10);
+  EXPECT_THROW(m.add_busy(5, 15), std::logic_error);
+  EXPECT_THROW(m.add_busy(20, 20), std::invalid_argument);
+  EXPECT_THROW(UtilizationMeter(0.0), std::invalid_argument);
+}
+
+TEST(UtilizationMeter, SeriesCoversWindows) {
+  UtilizationMeter m(10e6);
+  m.add_busy(0, 500);
+  auto series = m.avail_bw_series(0, 1000, 250);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);      // fully busy
+  EXPECT_DOUBLE_EQ(series[3], 10e6);     // fully idle
+}
+
+TEST(UtilizationMeter, MeasurementAttributionSeparatesLoads) {
+  UtilizationMeter m(10e6);
+  m.add_busy(0, 100, /*measurement=*/false);   // cross
+  m.add_busy(100, 200, /*measurement=*/true);  // probe (not coalesced)
+  m.add_busy(300, 400, /*measurement=*/true);
+  EXPECT_EQ(m.interval_count(), 3u);  // attribution change blocks merging
+  EXPECT_EQ(m.busy_time(0, 400), 300);
+  EXPECT_EQ(m.measurement_busy_time(0, 400), 200);
+  // Cross-only utilization: 100 ns busy over 400 ns => A = 0.75 * C.
+  EXPECT_DOUBLE_EQ(m.cross_avail_bw(0, 400), 7.5e6);
+  // Partial window over a measurement edge interval.
+  EXPECT_EQ(m.measurement_busy_time(150, 350), 100);
+}
+
+TEST(UtilizationMeter, SameAttributionStillCoalesces) {
+  UtilizationMeter m(1e6);
+  m.add_busy(0, 10, true);
+  m.add_busy(10, 20, true);
+  EXPECT_EQ(m.interval_count(), 1u);
+  EXPECT_EQ(m.measurement_busy_time(0, 20), 20);
+}
+
+TEST(UtilizationMeter, EmptyMeterIsIdle) {
+  UtilizationMeter m(5e6);
+  EXPECT_DOUBLE_EQ(m.avail_bw(0, 100), 5e6);
+}
+
+// --------------------------------------------------------------- link ---
+
+struct Collector final : PacketHandler {
+  std::vector<Packet> got;
+  Simulator* sim = nullptr;
+  std::vector<SimTime> at;
+  void handle(Packet pkt) override {
+    got.push_back(pkt);
+    if (sim) at.push_back(sim->now());
+  }
+};
+
+TEST(Link, ServiceTimeAndPropagation) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 10e6;            // 1000 B -> 800 us
+  cfg.propagation_delay = kMillisecond;
+  Link link(sim, "l", cfg);
+  Collector sink;
+  sink.sim = &sim;
+  link.set_next(&sink);
+
+  Packet p;
+  p.size_bytes = 1000;
+  sim.at(0, [&] { link.handle(p); });
+  sim.run_until_idle();
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(sink.at[0], from_micros(800) + kMillisecond);
+}
+
+TEST(Link, FifoOrderPreserved) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 10e6;
+  Link link(sim, "l", cfg);
+  Collector sink;
+  link.set_next(&sink);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.seq = i;
+    p.size_bytes = 500;
+    sim.at(0, [&link, p] { link.handle(p); });
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(sink.got.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sink.got[i].seq, i);
+}
+
+TEST(Link, BackToBackSerialization) {
+  // Two packets arriving together leave exactly one transmission apart.
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 50e6;
+  Link link(sim, "l", cfg);
+  Collector sink;
+  sink.sim = &sim;
+  link.set_next(&sink);
+  for (int i = 0; i < 2; ++i) {
+    Packet p;
+    p.size_bytes = 1500;
+    sim.at(0, [&link, p] { link.handle(p); });
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(sink.at.size(), 2u);
+  EXPECT_EQ(sink.at[1] - sink.at[0], transmission_time(1500, 50e6));
+}
+
+TEST(Link, DropTailOnQueueLimit) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 1e6;
+  cfg.queue_limit_bytes = 3000;  // room for two 1500 B packets
+  Link link(sim, "l", cfg);
+  Collector sink;
+  link.set_next(&sink);
+  for (int i = 0; i < 5; ++i) {
+    Packet p;
+    p.size_bytes = 1500;
+    sim.at(0, [&link, p] { link.handle(p); });
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(link.stats().packets_dropped, 3u);
+  EXPECT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(link.stats().packets_in, 5u);
+  EXPECT_EQ(link.stats().packets_out, 2u);
+}
+
+TEST(Link, MeterMatchesTransmissions) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 8e6;  // 1000 B = 1 ms
+  Link link(sim, "l", cfg);
+  Collector sink;
+  link.set_next(&sink);
+  for (int i = 0; i < 4; ++i) {
+    Packet p;
+    p.size_bytes = 1000;
+    sim.at(i * 2 * kMillisecond, [&link, p] { link.handle(p); });
+  }
+  sim.run_until_idle();
+  // 4 ms busy within the 8 ms span -> utilization 0.5.
+  EXPECT_DOUBLE_EQ(link.meter().utilization(0, 8 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(link.meter().avail_bw(0, 8 * kMillisecond), 4e6);
+}
+
+TEST(Link, ArrivalTapSeesEveryArrival) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 1e6;
+  cfg.queue_limit_bytes = 1500;  // second packet will drop
+  Link link(sim, "l", cfg);
+  Collector sink;
+  link.set_next(&sink);
+  int taps = 0;
+  link.set_arrival_tap([&](const Packet&, SimTime) { ++taps; });
+  for (int i = 0; i < 2; ++i) {
+    Packet p;
+    p.size_bytes = 1500;
+    sim.at(0, [&link, p] { link.handle(p); });
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(taps, 2);  // tap fires before the drop decision
+  EXPECT_EQ(link.stats().packets_dropped, 1u);
+}
+
+TEST(Link, RejectsBadConfig) {
+  Simulator sim;
+  LinkConfig bad;
+  bad.capacity_bps = 0.0;
+  EXPECT_THROW(Link(sim, "x", bad), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- path ---
+
+TEST(Path, EndToEndTraversesAllHops) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 10e6;
+  Path path(sim, {cfg, cfg, cfg});
+  Collector sink;
+  path.set_receiver(&sink);
+  Packet p;
+  p.size_bytes = 1000;
+  p.exit_hop = kEndToEnd;
+  sim.at(0, [&] { path.inject(0, p); });
+  sim.run_until_idle();
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(path.link(0).stats().packets_out, 1u);
+  EXPECT_EQ(path.link(2).stats().packets_out, 1u);
+}
+
+TEST(Path, OneHopCrossExitsEarly) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 10e6;
+  Path path(sim, {cfg, cfg, cfg});
+  Collector sink;
+  path.set_receiver(&sink);
+  Packet p;
+  p.size_bytes = 1000;
+  p.exit_hop = 1;  // enters hop 1, leaves after hop 1
+  sim.at(0, [&] { path.inject(1, p); });
+  sim.run_until_idle();
+  EXPECT_EQ(sink.got.size(), 0u);
+  EXPECT_EQ(path.cross_sink().packets(), 1u);
+  EXPECT_EQ(path.link(1).stats().packets_out, 1u);
+  EXPECT_EQ(path.link(2).stats().packets_in, 0u);
+}
+
+TEST(Path, AvailBwIsMinimumOverLinks) {
+  Simulator sim;
+  LinkConfig fast, slow;
+  fast.capacity_bps = 100e6;
+  slow.capacity_bps = 10e6;
+  Path path(sim, {fast, slow});
+  Collector sink;
+  path.set_receiver(&sink);
+  // Idle path: avail-bw = min capacity.
+  EXPECT_DOUBLE_EQ(path.avail_bw(0, kSecond), 10e6);
+  EXPECT_EQ(path.tight_link(0, kSecond), 1u);
+  EXPECT_DOUBLE_EQ(path.narrow_capacity(), 10e6);
+}
+
+TEST(Path, BaseOwdSumsHops) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.capacity_bps = 10e6;
+  cfg.propagation_delay = kMillisecond;
+  Path path(sim, {cfg, cfg});
+  EXPECT_EQ(path.base_owd(1000),
+            2 * (transmission_time(1000, 10e6) + kMillisecond));
+}
+
+TEST(Path, RejectsEmptyAndOutOfRange) {
+  Simulator sim;
+  EXPECT_THROW(Path(sim, {}), std::invalid_argument);
+  LinkConfig cfg;
+  Path path(sim, {cfg});
+  Packet p;
+  EXPECT_THROW(path.inject(3, p), std::out_of_range);
+}
+
+// -------------------------------------------------------------- demux ---
+
+TEST(TypeDemux, RoutesByType) {
+  TypeDemux demux;
+  Collector probes, tcp;
+  demux.register_handler(PacketType::kProbe, &probes);
+  demux.register_handler(PacketType::kTcpData, &tcp);
+  Packet p;
+  p.type = PacketType::kProbe;
+  demux.handle(p);
+  p.type = PacketType::kTcpData;
+  demux.handle(p);
+  p.type = PacketType::kCross;  // unregistered -> fallback
+  demux.handle(p);
+  EXPECT_EQ(probes.got.size(), 1u);
+  EXPECT_EQ(tcp.got.size(), 1u);
+  EXPECT_EQ(demux.fallback().packets(), 1u);
+}
+
+}  // namespace

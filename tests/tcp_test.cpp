@@ -1,0 +1,220 @@
+// Tests for the TCP Reno substrate: window-limited throughput, congestion
+// response to losses and competing traffic, short-flow generation — the
+// mechanics behind the paper's Fig. 7 pitfall.
+#include <gtest/gtest.h>
+
+#include "sim/node.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+#include "tcp/flows.hpp"
+#include "tcp/tcp.hpp"
+#include "traffic/cbr.hpp"
+
+namespace {
+
+using namespace abw;
+using abw::sim::kMillisecond;
+using abw::sim::kSecond;
+
+struct TcpFixture {
+  sim::Simulator simu;
+  sim::Path path;
+  sim::TypeDemux demux;
+  tcp::TcpReceiverHub hub;
+
+  explicit TcpFixture(double capacity = 50e6, std::size_t qlimit = 128 * 1500)
+      : path(simu, {make_cfg(capacity, qlimit)}) {
+    demux.register_handler(sim::PacketType::kTcpData, &hub);
+    path.set_receiver(&demux);
+  }
+  static sim::LinkConfig make_cfg(double c, std::size_t q) {
+    sim::LinkConfig cfg;
+    cfg.capacity_bps = c;
+    cfg.propagation_delay = 5 * kMillisecond;
+    cfg.queue_limit_bytes = q;
+    return cfg;
+  }
+};
+
+TEST(Tcp, CompletesABoundedTransfer) {
+  TcpFixture f;
+  tcp::TcpConfig cfg;
+  cfg.bytes_to_send = 100 * 1460;
+  tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+  bool done = false;
+  conn.set_on_complete([&] { done = true; });
+  conn.start(0);
+  f.simu.run_until(10 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.completed());
+  EXPECT_EQ(conn.acked_bytes(), 100u * 1460u);
+}
+
+TEST(Tcp, WindowLimitedThroughputIsWrOverRtt) {
+  // RTT = 2*(5 ms prop) + reverse 5 ms + tx times; with Wr = 8 segments
+  // the connection is window-limited: throughput ~ Wr * MSS * 8 / RTT.
+  TcpFixture f(100e6);
+  tcp::TcpConfig cfg;
+  cfg.receiver_window = 8;
+  cfg.reverse_delay = 5 * kMillisecond;
+  tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+  conn.start(0);
+  f.simu.run_until(20 * kSecond);
+  double rtt = sim::to_seconds(2 * (5 * kMillisecond)) +
+               sim::to_seconds(sim::transmission_time(1500, 100e6));
+  double predicted = 8.0 * 1460.0 * 8.0 / rtt;
+  EXPECT_NEAR(conn.throughput_bps(f.simu.now()), predicted, predicted * 0.1);
+}
+
+TEST(Tcp, LargerWindowGivesMoreThroughputUntilCapacity) {
+  auto run = [](std::uint32_t wr) {
+    TcpFixture f(20e6);
+    tcp::TcpConfig cfg;
+    cfg.receiver_window = wr;
+    tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+    conn.start(0);
+    f.simu.run_until(15 * kSecond);
+    return conn.throughput_bps(f.simu.now());
+  };
+  double t4 = run(4), t16 = run(16), t256 = run(256);
+  EXPECT_LT(t4, t16);
+  EXPECT_LT(t16, t256 + 1e6);
+  EXPECT_LT(t256, 20e6);          // can't beat the link
+  EXPECT_GT(t256, 20e6 * 0.75);   // but should nearly fill it
+}
+
+TEST(Tcp, RecoversFromLossAndKeepsGoing) {
+  // Small queue forces drops once cwnd grows; the connection must keep
+  // making progress through fast retransmit / RTO.
+  TcpFixture f(10e6, 8 * 1500);
+  tcp::TcpConfig cfg;
+  cfg.receiver_window = 64;
+  tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+  conn.start(0);
+  f.simu.run_until(20 * kSecond);
+  EXPECT_GT(conn.retransmits(), 0u);
+  EXPECT_GT(conn.throughput_bps(f.simu.now()), 10e6 * 0.5);
+  EXPECT_GT(conn.acked_bytes(), 0u);
+}
+
+TEST(Tcp, SharesFairlyWithItself) {
+  TcpFixture f(20e6, 64 * 1500);
+  tcp::TcpConfig cfg;
+  cfg.receiver_window = 256;
+  tcp::TcpConnection a(f.simu, f.path, f.hub, 1, cfg);
+  tcp::TcpConnection b(f.simu, f.path, f.hub, 2, cfg);
+  a.start(0);
+  b.start(100 * kMillisecond);
+  f.simu.run_until(30 * kSecond);
+  double ta = a.throughput_bps(f.simu.now());
+  double tb = b.throughput_bps(f.simu.now());
+  EXPECT_NEAR(ta + tb, 20e6, 20e6 * 0.2);
+  EXPECT_GT(std::min(ta, tb) / std::max(ta, tb), 0.4);  // coarse fairness
+}
+
+TEST(Tcp, BacksOffUnderCbrCongestion) {
+  // CBR eats 15 of 20 Mb/s; TCP should settle near the 5 Mb/s remainder,
+  // well below its window-permitted rate.
+  TcpFixture f(20e6, 64 * 1500);
+  traffic::CbrGenerator cross(f.simu, f.path, 0, false, 99, stats::Rng(4), 15e6,
+                              1500);
+  cross.start(0, 60 * kSecond);
+  tcp::TcpConfig cfg;
+  cfg.receiver_window = 256;
+  tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+  conn.start(kSecond);
+  f.simu.run_until(30 * kSecond);
+  double rate = conn.throughput_bps(f.simu.now());
+  EXPECT_LT(rate, 9e6);
+  EXPECT_GT(rate, 1e6);
+}
+
+TEST(Tcp, RejectsBadConfig) {
+  TcpFixture f;
+  tcp::TcpConfig bad;
+  bad.receiver_window = 0;
+  EXPECT_THROW(tcp::TcpConnection(f.simu, f.path, f.hub, 1, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.mss_bytes = 0;
+  EXPECT_THROW(tcp::TcpConnection(f.simu, f.path, f.hub, 2, bad),
+               std::invalid_argument);
+}
+
+TEST(Tcp, HubRejectsDuplicateFlowIds) {
+  TcpFixture f;
+  tcp::TcpConfig cfg;
+  tcp::TcpConnection a(f.simu, f.path, f.hub, 1, cfg);
+  EXPECT_THROW(tcp::TcpConnection(f.simu, f.path, f.hub, 1, cfg),
+               std::logic_error);
+}
+
+TEST(Tcp, HubIgnoresUnknownFlows) {
+  TcpFixture f;
+  sim::Packet pkt;
+  pkt.type = sim::PacketType::kTcpData;
+  pkt.flow_id = 424242;
+  EXPECT_NO_THROW(f.hub.handle(pkt));
+  EXPECT_NO_THROW(f.hub.deliver_ack(424242, 5));
+}
+
+TEST(Tcp, StartTwiceThrows) {
+  TcpFixture f;
+  tcp::TcpConfig cfg;
+  tcp::TcpConnection conn(f.simu, f.path, f.hub, 1, cfg);
+  conn.start(0);
+  EXPECT_THROW(conn.start(kSecond), std::logic_error);
+}
+
+// -------------------------------------------------------------- flows ---
+
+TEST(PersistentFlowSet, AggregateSaturatesSmallWindows) {
+  TcpFixture f(50e6);
+  tcp::TcpConfig cfg;
+  cfg.receiver_window = 6;
+  tcp::PersistentFlowSet set(f.simu, f.path, f.hub, 10, 4, cfg);
+  EXPECT_EQ(set.size(), 4u);
+  stats::Rng rng(5);
+  set.start(0, kSecond, rng);
+  f.simu.run_until(20 * kSecond);
+  double agg = set.aggregate_throughput_bps(f.simu.now());
+  EXPECT_GT(agg, 1e6);
+  EXPECT_LT(agg, 50e6);
+}
+
+TEST(ShortFlowGenerator, SpawnsAndCompletesFlows) {
+  TcpFixture f(50e6);
+  tcp::ShortFlowConfig cfg;
+  cfg.flow_arrival_rate = 30.0;
+  cfg.mean_flow_bytes = 30e3;
+  tcp::ShortFlowGenerator gen(f.simu, f.path, f.hub, 100, cfg, stats::Rng(6));
+  gen.start(0, 10 * kSecond);
+  f.simu.run_until(15 * kSecond);
+  EXPECT_GT(gen.flows_started(), 200u);
+  EXPECT_GT(gen.flows_completed(), gen.flows_started() * 3 / 4);
+  EXPECT_GT(gen.total_acked_bytes(), 0u);
+}
+
+TEST(ShortFlowGenerator, RespectsActiveWindow) {
+  TcpFixture f(50e6);
+  tcp::ShortFlowConfig cfg;
+  cfg.flow_arrival_rate = 50.0;
+  tcp::ShortFlowGenerator gen(f.simu, f.path, f.hub, 100, cfg, stats::Rng(6));
+  gen.start(0, kSecond);
+  f.simu.run_until(5 * kSecond);
+  auto started = gen.flows_started();
+  EXPECT_GT(started, 20u);
+  EXPECT_LT(started, 100u);  // ~50 expected in 1 s
+}
+
+TEST(ShortFlowGenerator, RejectsBadConfig) {
+  TcpFixture f;
+  tcp::ShortFlowConfig bad;
+  bad.flow_arrival_rate = 0.0;
+  EXPECT_THROW(tcp::ShortFlowGenerator(f.simu, f.path, f.hub, 1, bad,
+                                       stats::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
