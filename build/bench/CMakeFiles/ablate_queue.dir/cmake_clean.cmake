@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_queue.dir/ablate_queue.cpp.o"
+  "CMakeFiles/ablate_queue.dir/ablate_queue.cpp.o.d"
+  "ablate_queue"
+  "ablate_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_speed.dir/ablate_speed.cpp.o"
+  "CMakeFiles/ablate_speed.dir/ablate_speed.cpp.o.d"
+  "ablate_speed"
+  "ablate_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_threshold.dir/ablate_threshold.cpp.o"
+  "CMakeFiles/ablate_threshold.dir/ablate_threshold.cpp.o.d"
+  "ablate_threshold"
+  "ablate_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_trend.dir/ablate_trend.cpp.o"
+  "CMakeFiles/ablate_trend.dir/ablate_trend.cpp.o.d"
+  "ablate_trend"
+  "ablate_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

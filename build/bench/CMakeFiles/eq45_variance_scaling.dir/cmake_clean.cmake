@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq45_variance_scaling.dir/eq45_variance_scaling.cpp.o"
+  "CMakeFiles/eq45_variance_scaling.dir/eq45_variance_scaling.cpp.o.d"
+  "eq45_variance_scaling"
+  "eq45_variance_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq45_variance_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

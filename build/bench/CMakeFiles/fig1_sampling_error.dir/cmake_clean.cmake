@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sampling_error.dir/fig1_sampling_error.cpp.o"
+  "CMakeFiles/fig1_sampling_error.dir/fig1_sampling_error.cpp.o.d"
+  "fig1_sampling_error"
+  "fig1_sampling_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sampling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timescale.dir/fig2_timescale.cpp.o"
+  "CMakeFiles/fig2_timescale.dir/fig2_timescale.cpp.o.d"
+  "fig2_timescale"
+  "fig2_timescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_burstiness.dir/fig3_burstiness.cpp.o"
+  "CMakeFiles/fig3_burstiness.dir/fig3_burstiness.cpp.o.d"
+  "fig3_burstiness"
+  "fig3_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

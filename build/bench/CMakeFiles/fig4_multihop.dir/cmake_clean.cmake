@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multihop.dir/fig4_multihop.cpp.o"
+  "CMakeFiles/fig4_multihop.dir/fig4_multihop.cpp.o.d"
+  "fig4_multihop"
+  "fig4_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

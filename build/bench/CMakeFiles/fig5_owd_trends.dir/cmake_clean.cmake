@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_owd_trends.dir/fig5_owd_trends.cpp.o"
+  "CMakeFiles/fig5_owd_trends.dir/fig5_owd_trends.cpp.o.d"
+  "fig5_owd_trends"
+  "fig5_owd_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_owd_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

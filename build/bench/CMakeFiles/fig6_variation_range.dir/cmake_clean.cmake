@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_variation_range.dir/fig6_variation_range.cpp.o"
+  "CMakeFiles/fig6_variation_range.dir/fig6_variation_range.cpp.o.d"
+  "fig6_variation_range"
+  "fig6_variation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_variation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfall_narrow_tight.dir/pitfall_narrow_tight.cpp.o"
+  "CMakeFiles/pitfall_narrow_tight.dir/pitfall_narrow_tight.cpp.o.d"
+  "pitfall_narrow_tight"
+  "pitfall_narrow_tight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfall_narrow_tight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

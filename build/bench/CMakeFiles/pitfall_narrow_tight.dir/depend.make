@@ -1,0 +1,2 @@
+# Empty dependencies file for pitfall_narrow_tight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_packet_size.dir/table1_packet_size.cpp.o"
+  "CMakeFiles/table1_packet_size.dir/table1_packet_size.cpp.o.d"
+  "table1_packet_size"
+  "table1_packet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_packet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

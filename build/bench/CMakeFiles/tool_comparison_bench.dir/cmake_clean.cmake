@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_comparison_bench.dir/tool_comparison.cpp.o"
+  "CMakeFiles/tool_comparison_bench.dir/tool_comparison.cpp.o.d"
+  "tool_comparison_bench"
+  "tool_comparison_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_comparison_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

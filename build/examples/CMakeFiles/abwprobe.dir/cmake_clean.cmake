@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abwprobe.dir/abwprobe.cpp.o"
+  "CMakeFiles/abwprobe.dir/abwprobe.cpp.o.d"
+  "abwprobe"
+  "abwprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abwprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_app.dir/adaptive_app.cpp.o"
+  "CMakeFiles/adaptive_app.dir/adaptive_app.cpp.o.d"
+  "adaptive_app"
+  "adaptive_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

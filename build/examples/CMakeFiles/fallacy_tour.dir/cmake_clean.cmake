@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallacy_tour.dir/fallacy_tour.cpp.o"
+  "CMakeFiles/fallacy_tour.dir/fallacy_tour.cpp.o.d"
+  "fallacy_tour"
+  "fallacy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallacy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_bottleneck.dir/multi_bottleneck.cpp.o"
+  "CMakeFiles/multi_bottleneck.dir/multi_bottleneck.cpp.o.d"
+  "multi_bottleneck"
+  "multi_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

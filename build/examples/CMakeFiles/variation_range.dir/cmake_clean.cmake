@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_range.dir/variation_range.cpp.o"
+  "CMakeFiles/variation_range.dir/variation_range.cpp.o.d"
+  "variation_range"
+  "variation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

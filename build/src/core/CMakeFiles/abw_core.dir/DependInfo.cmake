@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/abw_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/fallacies.cpp" "src/core/CMakeFiles/abw_core.dir/fallacies.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/fallacies.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/abw_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/abw_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/abw_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/abw_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/abw_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/est/CMakeFiles/abw_est.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/abw_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/abw_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/abw_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_core.dir/experiment.cpp.o"
+  "CMakeFiles/abw_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/abw_core.dir/fallacies.cpp.o"
+  "CMakeFiles/abw_core.dir/fallacies.cpp.o.d"
+  "CMakeFiles/abw_core.dir/monitor.cpp.o"
+  "CMakeFiles/abw_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/abw_core.dir/registry.cpp.o"
+  "CMakeFiles/abw_core.dir/registry.cpp.o.d"
+  "CMakeFiles/abw_core.dir/report.cpp.o"
+  "CMakeFiles/abw_core.dir/report.cpp.o.d"
+  "CMakeFiles/abw_core.dir/scenario.cpp.o"
+  "CMakeFiles/abw_core.dir/scenario.cpp.o.d"
+  "libabw_core.a"
+  "libabw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/est/bfind.cpp" "src/est/CMakeFiles/abw_est.dir/bfind.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/bfind.cpp.o.d"
+  "/root/repo/src/est/capacity.cpp" "src/est/CMakeFiles/abw_est.dir/capacity.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/capacity.cpp.o.d"
+  "/root/repo/src/est/direct.cpp" "src/est/CMakeFiles/abw_est.dir/direct.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/direct.cpp.o.d"
+  "/root/repo/src/est/igi_ptr.cpp" "src/est/CMakeFiles/abw_est.dir/igi_ptr.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/igi_ptr.cpp.o.d"
+  "/root/repo/src/est/pathchirp.cpp" "src/est/CMakeFiles/abw_est.dir/pathchirp.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/pathchirp.cpp.o.d"
+  "/root/repo/src/est/pathload.cpp" "src/est/CMakeFiles/abw_est.dir/pathload.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/pathload.cpp.o.d"
+  "/root/repo/src/est/schirp.cpp" "src/est/CMakeFiles/abw_est.dir/schirp.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/schirp.cpp.o.d"
+  "/root/repo/src/est/spruce.cpp" "src/est/CMakeFiles/abw_est.dir/spruce.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/spruce.cpp.o.d"
+  "/root/repo/src/est/topp.cpp" "src/est/CMakeFiles/abw_est.dir/topp.cpp.o" "gcc" "src/est/CMakeFiles/abw_est.dir/topp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/abw_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_est.dir/bfind.cpp.o"
+  "CMakeFiles/abw_est.dir/bfind.cpp.o.d"
+  "CMakeFiles/abw_est.dir/capacity.cpp.o"
+  "CMakeFiles/abw_est.dir/capacity.cpp.o.d"
+  "CMakeFiles/abw_est.dir/direct.cpp.o"
+  "CMakeFiles/abw_est.dir/direct.cpp.o.d"
+  "CMakeFiles/abw_est.dir/igi_ptr.cpp.o"
+  "CMakeFiles/abw_est.dir/igi_ptr.cpp.o.d"
+  "CMakeFiles/abw_est.dir/pathchirp.cpp.o"
+  "CMakeFiles/abw_est.dir/pathchirp.cpp.o.d"
+  "CMakeFiles/abw_est.dir/pathload.cpp.o"
+  "CMakeFiles/abw_est.dir/pathload.cpp.o.d"
+  "CMakeFiles/abw_est.dir/schirp.cpp.o"
+  "CMakeFiles/abw_est.dir/schirp.cpp.o.d"
+  "CMakeFiles/abw_est.dir/spruce.cpp.o"
+  "CMakeFiles/abw_est.dir/spruce.cpp.o.d"
+  "CMakeFiles/abw_est.dir/topp.cpp.o"
+  "CMakeFiles/abw_est.dir/topp.cpp.o.d"
+  "libabw_est.a"
+  "libabw_est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

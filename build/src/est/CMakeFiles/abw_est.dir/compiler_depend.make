@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abw_est.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abw_est.
+# This may be replaced when dependencies are built.

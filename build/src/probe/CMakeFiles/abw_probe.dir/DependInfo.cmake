@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/session.cpp" "src/probe/CMakeFiles/abw_probe.dir/session.cpp.o" "gcc" "src/probe/CMakeFiles/abw_probe.dir/session.cpp.o.d"
+  "/root/repo/src/probe/stream_result.cpp" "src/probe/CMakeFiles/abw_probe.dir/stream_result.cpp.o" "gcc" "src/probe/CMakeFiles/abw_probe.dir/stream_result.cpp.o.d"
+  "/root/repo/src/probe/stream_spec.cpp" "src/probe/CMakeFiles/abw_probe.dir/stream_spec.cpp.o" "gcc" "src/probe/CMakeFiles/abw_probe.dir/stream_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_probe.dir/session.cpp.o"
+  "CMakeFiles/abw_probe.dir/session.cpp.o.d"
+  "CMakeFiles/abw_probe.dir/stream_result.cpp.o"
+  "CMakeFiles/abw_probe.dir/stream_result.cpp.o.d"
+  "CMakeFiles/abw_probe.dir/stream_spec.cpp.o"
+  "CMakeFiles/abw_probe.dir/stream_spec.cpp.o.d"
+  "libabw_probe.a"
+  "libabw_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

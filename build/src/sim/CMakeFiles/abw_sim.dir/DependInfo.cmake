@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/abw_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/abw_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/path.cpp" "src/sim/CMakeFiles/abw_sim.dir/path.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/path.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/abw_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/abw_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/util_meter.cpp" "src/sim/CMakeFiles/abw_sim.dir/util_meter.cpp.o" "gcc" "src/sim/CMakeFiles/abw_sim.dir/util_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

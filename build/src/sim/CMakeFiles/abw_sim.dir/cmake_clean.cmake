@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_sim.dir/link.cpp.o"
+  "CMakeFiles/abw_sim.dir/link.cpp.o.d"
+  "CMakeFiles/abw_sim.dir/node.cpp.o"
+  "CMakeFiles/abw_sim.dir/node.cpp.o.d"
+  "CMakeFiles/abw_sim.dir/path.cpp.o"
+  "CMakeFiles/abw_sim.dir/path.cpp.o.d"
+  "CMakeFiles/abw_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/abw_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/abw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/abw_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/abw_sim.dir/util_meter.cpp.o"
+  "CMakeFiles/abw_sim.dir/util_meter.cpp.o.d"
+  "libabw_sim.a"
+  "libabw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/acf.cpp" "src/stats/CMakeFiles/abw_stats.dir/acf.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/acf.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/stats/CMakeFiles/abw_stats.dir/cdf.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/cdf.cpp.o.d"
+  "/root/repo/src/stats/cusum.cpp" "src/stats/CMakeFiles/abw_stats.dir/cusum.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/cusum.cpp.o.d"
+  "/root/repo/src/stats/effective_bw.cpp" "src/stats/CMakeFiles/abw_stats.dir/effective_bw.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/effective_bw.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/stats/CMakeFiles/abw_stats.dir/fft.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/fft.cpp.o.d"
+  "/root/repo/src/stats/fgn.cpp" "src/stats/CMakeFiles/abw_stats.dir/fgn.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/fgn.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/abw_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hurst.cpp" "src/stats/CMakeFiles/abw_stats.dir/hurst.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/hurst.cpp.o.d"
+  "/root/repo/src/stats/kstest.cpp" "src/stats/CMakeFiles/abw_stats.dir/kstest.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/kstest.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/abw_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/abw_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/abw_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/abw_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/sampling.cpp.o.d"
+  "/root/repo/src/stats/trend.cpp" "src/stats/CMakeFiles/abw_stats.dir/trend.cpp.o" "gcc" "src/stats/CMakeFiles/abw_stats.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

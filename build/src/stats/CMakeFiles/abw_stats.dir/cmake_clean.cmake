@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_stats.dir/acf.cpp.o"
+  "CMakeFiles/abw_stats.dir/acf.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/cdf.cpp.o"
+  "CMakeFiles/abw_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/cusum.cpp.o"
+  "CMakeFiles/abw_stats.dir/cusum.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/effective_bw.cpp.o"
+  "CMakeFiles/abw_stats.dir/effective_bw.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/fft.cpp.o"
+  "CMakeFiles/abw_stats.dir/fft.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/fgn.cpp.o"
+  "CMakeFiles/abw_stats.dir/fgn.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/histogram.cpp.o"
+  "CMakeFiles/abw_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/hurst.cpp.o"
+  "CMakeFiles/abw_stats.dir/hurst.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/kstest.cpp.o"
+  "CMakeFiles/abw_stats.dir/kstest.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/moments.cpp.o"
+  "CMakeFiles/abw_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/regression.cpp.o"
+  "CMakeFiles/abw_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/rng.cpp.o"
+  "CMakeFiles/abw_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/sampling.cpp.o"
+  "CMakeFiles/abw_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/abw_stats.dir/trend.cpp.o"
+  "CMakeFiles/abw_stats.dir/trend.cpp.o.d"
+  "libabw_stats.a"
+  "libabw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

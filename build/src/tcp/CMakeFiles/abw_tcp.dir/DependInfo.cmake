@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/flows.cpp" "src/tcp/CMakeFiles/abw_tcp.dir/flows.cpp.o" "gcc" "src/tcp/CMakeFiles/abw_tcp.dir/flows.cpp.o.d"
+  "/root/repo/src/tcp/tcp.cpp" "src/tcp/CMakeFiles/abw_tcp.dir/tcp.cpp.o" "gcc" "src/tcp/CMakeFiles/abw_tcp.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_tcp.dir/flows.cpp.o"
+  "CMakeFiles/abw_tcp.dir/flows.cpp.o.d"
+  "CMakeFiles/abw_tcp.dir/tcp.cpp.o"
+  "CMakeFiles/abw_tcp.dir/tcp.cpp.o.d"
+  "libabw_tcp.a"
+  "libabw_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

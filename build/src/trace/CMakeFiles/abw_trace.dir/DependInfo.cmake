@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/availbw_process.cpp" "src/trace/CMakeFiles/abw_trace.dir/availbw_process.cpp.o" "gcc" "src/trace/CMakeFiles/abw_trace.dir/availbw_process.cpp.o.d"
+  "/root/repo/src/trace/packet_trace.cpp" "src/trace/CMakeFiles/abw_trace.dir/packet_trace.cpp.o" "gcc" "src/trace/CMakeFiles/abw_trace.dir/packet_trace.cpp.o.d"
+  "/root/repo/src/trace/synthetic_trace.cpp" "src/trace/CMakeFiles/abw_trace.dir/synthetic_trace.cpp.o" "gcc" "src/trace/CMakeFiles/abw_trace.dir/synthetic_trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/abw_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/abw_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/abw_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_trace.dir/availbw_process.cpp.o"
+  "CMakeFiles/abw_trace.dir/availbw_process.cpp.o.d"
+  "CMakeFiles/abw_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/abw_trace.dir/packet_trace.cpp.o.d"
+  "CMakeFiles/abw_trace.dir/synthetic_trace.cpp.o"
+  "CMakeFiles/abw_trace.dir/synthetic_trace.cpp.o.d"
+  "CMakeFiles/abw_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/abw_trace.dir/trace_io.cpp.o.d"
+  "libabw_trace.a"
+  "libabw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabw_trace.a"
+)

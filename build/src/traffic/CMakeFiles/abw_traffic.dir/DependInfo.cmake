@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/aggregate.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/aggregate.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/aggregate.cpp.o.d"
+  "/root/repo/src/traffic/cbr.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/cbr.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/cbr.cpp.o.d"
+  "/root/repo/src/traffic/fgn_rate.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/fgn_rate.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/fgn_rate.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/generator.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/generator.cpp.o.d"
+  "/root/repo/src/traffic/packet_size.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/packet_size.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/packet_size.cpp.o.d"
+  "/root/repo/src/traffic/pareto_gaps.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/pareto_gaps.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/pareto_gaps.cpp.o.d"
+  "/root/repo/src/traffic/pareto_onoff.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/pareto_onoff.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/pareto_onoff.cpp.o.d"
+  "/root/repo/src/traffic/poisson.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/poisson.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/poisson.cpp.o.d"
+  "/root/repo/src/traffic/trace_replay.cpp" "src/traffic/CMakeFiles/abw_traffic.dir/trace_replay.cpp.o" "gcc" "src/traffic/CMakeFiles/abw_traffic.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

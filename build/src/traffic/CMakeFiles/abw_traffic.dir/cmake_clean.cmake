@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abw_traffic.dir/aggregate.cpp.o"
+  "CMakeFiles/abw_traffic.dir/aggregate.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/abw_traffic.dir/cbr.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/fgn_rate.cpp.o"
+  "CMakeFiles/abw_traffic.dir/fgn_rate.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/generator.cpp.o"
+  "CMakeFiles/abw_traffic.dir/generator.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/packet_size.cpp.o"
+  "CMakeFiles/abw_traffic.dir/packet_size.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/pareto_gaps.cpp.o"
+  "CMakeFiles/abw_traffic.dir/pareto_gaps.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/pareto_onoff.cpp.o"
+  "CMakeFiles/abw_traffic.dir/pareto_onoff.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/poisson.cpp.o"
+  "CMakeFiles/abw_traffic.dir/poisson.cpp.o.d"
+  "CMakeFiles/abw_traffic.dir/trace_replay.cpp.o"
+  "CMakeFiles/abw_traffic.dir/trace_replay.cpp.o.d"
+  "libabw_traffic.a"
+  "libabw_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abw_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

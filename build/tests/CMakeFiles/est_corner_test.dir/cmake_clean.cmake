@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_corner_test.dir/est_corner_test.cpp.o"
+  "CMakeFiles/est_corner_test.dir/est_corner_test.cpp.o.d"
+  "est_corner_test"
+  "est_corner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_direct_test.dir/est_direct_test.cpp.o"
+  "CMakeFiles/est_direct_test.dir/est_direct_test.cpp.o.d"
+  "est_direct_test"
+  "est_direct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_iterative_test.dir/est_iterative_test.cpp.o"
+  "CMakeFiles/est_iterative_test.dir/est_iterative_test.cpp.o.d"
+  "est_iterative_test"
+  "est_iterative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_iterative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_fgn_test.dir/fft_fgn_test.cpp.o"
+  "CMakeFiles/fft_fgn_test.dir/fft_fgn_test.cpp.o.d"
+  "fft_fgn_test"
+  "fft_fgn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_fgn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kstest_test.cpp" "tests/CMakeFiles/kstest_test.dir/kstest_test.cpp.o" "gcc" "tests/CMakeFiles/kstest_test.dir/kstest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/est/CMakeFiles/abw_est.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/abw_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/abw_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/abw_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/abw_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

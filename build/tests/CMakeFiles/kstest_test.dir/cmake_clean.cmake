@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kstest_test.dir/kstest_test.cpp.o"
+  "CMakeFiles/kstest_test.dir/kstest_test.cpp.o.d"
+  "kstest_test"
+  "kstest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kstest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

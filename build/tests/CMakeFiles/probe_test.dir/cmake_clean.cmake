@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_test.dir/probe_test.cpp.o"
+  "CMakeFiles/probe_test.dir/probe_test.cpp.o.d"
+  "probe_test"
+  "probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
