@@ -14,15 +14,18 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "runner/batch.hpp"
+#include "runner/bench_report.hpp"
 #include "stats/cdf.hpp"
 #include "stats/moments.hpp"
 #include "trace/availbw_process.hpp"
 #include "trace/synthetic_trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abw;
   core::print_header(std::cout, "Figure 1: sampling error of the avail-bw sample mean",
                      "Jain & Dovrolis IMC'04, Fig. 1");
+  std::size_t jobs = runner::jobs_from_cli(argc, argv);
 
   stats::Rng rng(1);
   trace::SyntheticTraceConfig tc;
@@ -39,15 +42,27 @@ int main() {
   constexpr int kRepeats = 400;          // sample-mean realizations per CDF
 
   const double taus_ms[] = {1.0, 10.0, 100.0};
+
+  // One task per (tau, repetition): each task draws its k samples with its
+  // own Rng derived from a fixed base seed, so the 1200-realization grid is
+  // embarrassingly parallel and bit-identical for every thread count.  The
+  // trace index (`proc`) is shared read-only across tasks.
+  constexpr std::uint64_t kSampleSeed = 20040101;
+  const std::size_t grid = 3 * static_cast<std::size_t>(kRepeats);
+  auto flat_errors = runner::timed_speedup_map(
+      "fig1_sampling_error", grid, jobs, [&](std::size_t i) {
+        double tau_ms = taus_ms[i / kRepeats];
+        stats::Rng task_rng(runner::derive_seed(kSampleSeed, i));
+        auto samples =
+            proc.poisson_samples(kSamples, sim::from_millis(tau_ms), task_rng);
+        return stats::relative_error(stats::mean(samples), mean_a);
+      });
+
   std::vector<stats::EmpiricalCdf> cdfs;
   std::vector<double> spread;
-  for (double tau_ms : taus_ms) {
-    std::vector<double> errors;
-    errors.reserve(kRepeats);
-    for (int rep = 0; rep < kRepeats; ++rep) {
-      auto samples = proc.poisson_samples(kSamples, sim::from_millis(tau_ms), rng);
-      errors.push_back(stats::relative_error(stats::mean(samples), mean_a));
-    }
+  for (std::size_t ti = 0; ti < 3; ++ti) {
+    std::vector<double> errors(flat_errors.begin() + ti * kRepeats,
+                               flat_errors.begin() + (ti + 1) * kRepeats);
     spread.push_back(stats::stddev(errors));
     cdfs.emplace_back(std::move(errors));
   }

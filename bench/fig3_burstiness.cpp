@@ -15,13 +15,16 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "runner/batch.hpp"
+#include "runner/bench_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abw;
   core::print_header(std::cout, "Figure 3: effect of cross-traffic burstiness",
                      "Jain & Dovrolis IMC'04, Fig. 3");
+  std::size_t jobs = runner::jobs_from_cli(argc, argv);
   std::printf("workload: single hop, Ct=50 Mbps, A=25 Mbps, 500 streams of "
-              "100 x 1500B packets per point\n\n");
+              "100 x 1500B packets per point, %zu thread(s)\n\n", jobs);
 
   std::vector<double> rates;
   for (double r = 5e6; r <= 30e6 + 1; r += 2.5e6) rates.push_back(r);
@@ -29,13 +32,32 @@ int main() {
   const core::CrossModel models[] = {core::CrossModel::kCbr,
                                      core::CrossModel::kPoisson,
                                      core::CrossModel::kParetoOnOff};
+
+  // Serial-vs-parallel wall-time tracking on a reduced calibration sweep
+  // (one model, 60 streams per point) so BENCH_batch.json records the
+  // runner's speedup without running the full figure twice.
+  runner::timed_speedup_map(
+      "fig3_burstiness_calib", rates.size(), jobs, [&](std::size_t i) {
+        core::SingleHopConfig cfg;
+        cfg.model = core::CrossModel::kPoisson;
+        cfg.seed = 300 + 37 + (i + 1);
+        core::Scenario sc = core::Scenario::single_hop(cfg);
+        core::RatioCurveConfig one;
+        one.rates_bps = {rates[i]};
+        one.streams_per_rate = 60;
+        return core::measure_ratio_curve(sc, one).front();
+      });
+  std::printf("\n");
+
   std::vector<std::vector<core::RatioPoint>> curves;
   for (int mi = 0; mi < 3; ++mi) {
     core::RatioCurveConfig rc;
     rc.rates_bps = rates;
     rc.streams_per_rate = 500;
     // Fresh scenario per rate point: 500 long streams at low rates would
-    // otherwise outlive one scenario's cross-traffic horizon.
+    // otherwise outlive one scenario's cross-traffic horizon.  Rate points
+    // run in parallel on `jobs` threads; the curve is identical for any
+    // thread count.
     curves.push_back(core::measure_ratio_curve_fresh(
         [&](std::uint64_t seed) {
           core::SingleHopConfig cfg;
@@ -43,7 +65,7 @@ int main() {
           cfg.seed = 300 + 37 * static_cast<std::uint64_t>(mi) + seed;
           return core::Scenario::single_hop(cfg);
         },
-        rc));
+        rc, jobs));
   }
 
   core::Table table({"Ri (Mbps)", "CBR", "Poisson", "Pareto ON-OFF"});

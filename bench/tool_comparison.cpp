@@ -15,6 +15,8 @@
 #include "est/pathload.hpp"
 #include "est/spruce.hpp"
 #include "est/topp.hpp"
+#include "runner/batch.hpp"
+#include "runner/bench_report.hpp"
 #include "stats/moments.hpp"
 
 using namespace abw;
@@ -52,7 +54,47 @@ std::vector<std::unique_ptr<est::Estimator>> make_tools(double ct,
   return tools;
 }
 
-void run_model(core::CrossModel model) {
+// One tool's outcome in one seed's scenario.
+struct ToolRun {
+  std::string name, cls;
+  bool valid = false;
+  double err = 0.0, pkts = 0.0, latency = 0.0;
+};
+
+// Everything inside one seed is an independent world (fresh Scenario,
+// fresh tool instances), so seeds run as parallel BatchRunner tasks;
+// per-tool aggregation below walks the results in seed order, keeping the
+// output identical for every thread count.
+std::vector<ToolRun> run_one_seed(core::CrossModel model, std::size_t seed) {
+  core::SingleHopConfig cfg;
+  cfg.model = model;
+  cfg.seed = 1000 + static_cast<std::uint64_t>(seed);
+  auto sc = core::Scenario::single_hop(cfg);
+  auto tools = make_tools(cfg.capacity_bps, sc.rng());
+  std::vector<ToolRun> runs;
+  runs.reserve(tools.size());
+  for (auto& tool : tools) {
+    ToolRun r;
+    r.name = tool->name();
+    r.cls = tool->probing_class() == est::ProbingClass::kDirect ? "direct"
+                                                                : "iterative";
+    auto before = sc.session().cost();
+    est::Estimate e = tool->estimate(sc.session());
+    auto after = sc.session().cost();
+    r.valid = e.valid;
+    if (e.valid) {
+      double truth = sc.nominal_avail_bw();
+      r.err = std::abs(e.point_bps() - truth) / truth;
+      r.pkts = static_cast<double>(after.packets - before.packets);
+      r.latency = sim::to_seconds(after.last_activity) -
+                  sim::to_seconds(before.last_activity);
+    }
+    runs.push_back(r);
+  }
+  return runs;
+}
+
+void run_model(core::CrossModel model, std::size_t jobs, bool record_timing) {
   struct Agg {
     std::string name, cls;
     stats::RunningStats err, pkts, latency;
@@ -60,33 +102,28 @@ void run_model(core::CrossModel model) {
   };
   std::vector<Agg> agg;
 
-  for (int seed = 0; seed < kSeeds; ++seed) {
-    core::SingleHopConfig cfg;
-    cfg.model = model;
-    cfg.seed = 1000 + static_cast<std::uint64_t>(seed);
-    auto sc = core::Scenario::single_hop(cfg);
-    auto tools = make_tools(cfg.capacity_bps, sc.rng());
-    if (agg.empty()) {
-      for (auto& t : tools)
-        agg.push_back({std::string(t->name()),
-                       t->probing_class() == est::ProbingClass::kDirect
-                           ? "direct"
-                           : "iterative",
-                       {}, {}, {}, 0});
-    }
-    for (std::size_t i = 0; i < tools.size(); ++i) {
-      auto before = sc.session().cost();
-      est::Estimate e = tools[i]->estimate(sc.session());
-      auto after = sc.session().cost();
-      if (!e.valid) {
+  auto task = [&](std::size_t seed) { return run_one_seed(model, seed); };
+  std::vector<std::vector<ToolRun>> per_seed;
+  if (record_timing) {
+    // Dual run (jobs=1 then jobs=N) so BENCH_batch.json tracks the
+    // serial-vs-parallel wall time of a full seed batch.
+    per_seed = runner::timed_speedup_map("tool_comparison", kSeeds, jobs, task);
+  } else {
+    runner::BatchRunner batch(jobs);
+    per_seed = batch.map(kSeeds, task);
+  }
+
+  for (const auto& runs : per_seed) {
+    if (agg.empty())
+      for (const auto& r : runs) agg.push_back({r.name, r.cls, {}, {}, {}, 0});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (!runs[i].valid) {
         ++agg[i].invalid;
         continue;
       }
-      double truth = sc.nominal_avail_bw();
-      agg[i].err.add(std::abs(e.point_bps() - truth) / truth);
-      agg[i].pkts.add(static_cast<double>(after.packets - before.packets));
-      agg[i].latency.add(sim::to_seconds(after.last_activity) -
-                         sim::to_seconds(before.last_activity));
+      agg[i].err.add(runs[i].err);
+      agg[i].pkts.add(runs[i].pkts);
+      agg[i].latency.add(runs[i].latency);
     }
   }
 
@@ -107,13 +144,16 @@ void run_model(core::CrossModel model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::print_header(std::cout,
                      "Tool comparison under reproducible conditions",
                      "Jain & Dovrolis IMC'04, Section 4 recommendation");
-  run_model(core::CrossModel::kCbr);
-  run_model(core::CrossModel::kPoisson);
-  run_model(core::CrossModel::kParetoOnOff);
+  std::size_t jobs = runner::jobs_from_cli(argc, argv);
+  std::printf("running %d seeds per model on %zu thread(s) (--jobs/ABW_JOBS)\n",
+              kSeeds, jobs);
+  run_model(core::CrossModel::kCbr, jobs, /*record_timing=*/true);
+  run_model(core::CrossModel::kPoisson, jobs, /*record_timing=*/false);
+  run_model(core::CrossModel::kParetoOnOff, jobs, /*record_timing=*/false);
   std::printf(
       "\nreading guide: accuracy comparisons are only meaningful at equal\n"
       "overhead and equal averaging time scale (pitfalls 1-3) — the packet\n"

@@ -5,6 +5,7 @@
 
 #include "est/direct.hpp"
 #include "probe/stream_spec.hpp"
+#include "runner/batch.hpp"
 #include "stats/moments.hpp"
 
 namespace abw::core {
@@ -37,19 +38,20 @@ std::vector<RatioPoint> measure_ratio_curve(Scenario& sc,
 
 std::vector<RatioPoint> measure_ratio_curve_fresh(
     const std::function<Scenario(std::uint64_t seed)>& make_scenario,
-    const RatioCurveConfig& cfg) {
+    const RatioCurveConfig& cfg, std::size_t jobs) {
   if (cfg.rates_bps.empty())
     throw std::invalid_argument("measure_ratio_curve_fresh: no rates");
-  std::vector<RatioPoint> curve;
-  curve.reserve(cfg.rates_bps.size());
-  std::uint64_t seed = 1;
-  for (double rate : cfg.rates_bps) {
-    Scenario sc = make_scenario(seed++);
+  // Each rate point owns a whole fresh world (Simulator/Scenario/Rng), so
+  // the sweep parallelizes at the replication level; collecting results by
+  // task index keeps the curve identical to the serial sweep.  Seeds stay
+  // 1, 2, ... per rate point, as the serial version always used.
+  runner::BatchRunner batch(jobs);
+  return batch.map(cfg.rates_bps.size(), [&](std::size_t i) {
+    Scenario sc = make_scenario(static_cast<std::uint64_t>(i) + 1);
     RatioCurveConfig one = cfg;
-    one.rates_bps = {rate};
-    curve.push_back(measure_ratio_curve(sc, one).front());
-  }
-  return curve;
+    one.rates_bps = {cfg.rates_bps[i]};
+    return measure_ratio_curve(sc, one).front();
+  });
 }
 
 std::vector<double> collect_direct_samples(Scenario& sc, double tight_capacity_bps,
@@ -96,6 +98,36 @@ std::vector<double> collect_pair_samples(Scenario& sc, double tight_capacity_bps
     samples.push_back(std::clamp(s, 0.0, tight_capacity_bps));
   }
   return samples;
+}
+
+std::vector<std::vector<double>> collect_direct_samples_batch(
+    const std::function<Scenario(std::uint64_t seed)>& make_scenario,
+    double tight_capacity_bps, double input_rate_bps,
+    sim::SimTime stream_duration, std::uint32_t packet_size,
+    std::size_t count_per_replication, sim::SimTime inter_stream_gap,
+    std::size_t replications, std::uint64_t base_seed, std::size_t jobs) {
+  runner::BatchRunner batch(jobs);
+  return batch.map_seeded(
+      replications, base_seed, [&](std::size_t, std::uint64_t seed) {
+        Scenario sc = make_scenario(seed);
+        return collect_direct_samples(sc, tight_capacity_bps, input_rate_bps,
+                                      stream_duration, packet_size,
+                                      count_per_replication, inter_stream_gap);
+      });
+}
+
+std::vector<std::vector<double>> collect_pair_samples_batch(
+    const std::function<Scenario(std::uint64_t seed)>& make_scenario,
+    double tight_capacity_bps, std::uint32_t packet_size,
+    std::size_t count_per_replication, sim::SimTime mean_pair_gap,
+    std::size_t replications, std::uint64_t base_seed, std::size_t jobs) {
+  runner::BatchRunner batch(jobs);
+  return batch.map_seeded(
+      replications, base_seed, [&](std::size_t, std::uint64_t seed) {
+        Scenario sc = make_scenario(seed);
+        return collect_pair_samples(sc, tight_capacity_bps, packet_size,
+                                    count_per_replication, mean_pair_gap);
+      });
 }
 
 probe::StreamResult capture_stream(Scenario& sc, double rate_bps,

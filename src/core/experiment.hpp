@@ -39,9 +39,14 @@ std::vector<RatioPoint> measure_ratio_curve(Scenario& sc,
 /// Long-sweep variant: builds a FRESH scenario per offered rate via
 /// `make_scenario(seed)`, so hundreds of streams per rate cannot exhaust
 /// one scenario's traffic horizon.  Seeds are 1, 2, ... per rate point.
+///
+/// Rate points are independent worlds, so they execute on a
+/// runner::BatchRunner with `jobs` threads (0 = runner::default_jobs(),
+/// i.e. $ABW_JOBS or hardware_concurrency).  Results are aggregated in
+/// rate order, so the curve is bit-identical for every thread count.
 std::vector<RatioPoint> measure_ratio_curve_fresh(
     const std::function<Scenario(std::uint64_t seed)>& make_scenario,
-    const RatioCurveConfig& cfg);
+    const RatioCurveConfig& cfg, std::size_t jobs = 0);
 
 /// Collects `count` direct-probing avail-bw samples (Eq. 9) of the given
 /// stream duration.  `tight_capacity_bps` is Ct in the equation.  Streams
@@ -59,6 +64,26 @@ std::vector<double> collect_pair_samples(Scenario& sc, double tight_capacity_bps
                                          std::uint32_t packet_size,
                                          std::size_t count,
                                          sim::SimTime mean_pair_gap);
+
+/// Parallel replication of `collect_direct_samples`: replication r runs in
+/// its own fresh scenario built with `make_scenario(derive_seed(base_seed,
+/// r))` on a runner::BatchRunner with `jobs` threads (0 =
+/// runner::default_jobs()).  Returns the per-replication sample vectors in
+/// replication order — bit-identical for every thread count.
+std::vector<std::vector<double>> collect_direct_samples_batch(
+    const std::function<Scenario(std::uint64_t seed)>& make_scenario,
+    double tight_capacity_bps, double input_rate_bps,
+    sim::SimTime stream_duration, std::uint32_t packet_size,
+    std::size_t count_per_replication, sim::SimTime inter_stream_gap,
+    std::size_t replications, std::uint64_t base_seed, std::size_t jobs = 0);
+
+/// Parallel replication of `collect_pair_samples`; same contract as
+/// `collect_direct_samples_batch`.
+std::vector<std::vector<double>> collect_pair_samples_batch(
+    const std::function<Scenario(std::uint64_t seed)>& make_scenario,
+    double tight_capacity_bps, std::uint32_t packet_size,
+    std::size_t count_per_replication, sim::SimTime mean_pair_gap,
+    std::size_t replications, std::uint64_t base_seed, std::size_t jobs = 0);
 
 /// Sends one periodic stream and returns the receiver's full result
 /// (Fig. 5 needs the raw OWD series).

@@ -1,0 +1,102 @@
+// BatchRunner: deterministic parallel execution of independent scenario
+// tasks (seed x config replications).
+//
+// Contract: `map(count, fn)` evaluates `fn(i)` for every task index
+// i in [0, count) and returns the results **in submission (index) order**,
+// so the aggregated output is bit-identical to a serial run regardless of
+// thread count.  Tasks must be independent — each owns its own
+// Simulator/Scenario/Rng; the DES core stays single-threaded by design
+// (see src/sim/scheduler.hpp).  Derive per-task randomness with
+// `derive_seed(base_seed, i)` rather than sharing one Rng across tasks.
+//
+// Exceptions thrown by tasks are captured and rethrown on the calling
+// thread; when several tasks throw, the lowest task index wins (again
+// matching what a serial run would have reported first).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace abw::runner {
+
+/// splitmix64 — the standard 64-bit mixer (Steele et al.); bijective, so
+/// distinct inputs give distinct well-scrambled outputs.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic per-task seed: splitmix64 of `base_seed ^ task_index`
+/// (with the index pre-mixed so low-entropy bases still decorrelate).
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Number of parallel jobs to use by default: the ABW_JOBS environment
+/// variable when set to a positive integer, else hardware_concurrency()
+/// (at least 1).
+std::size_t default_jobs();
+
+/// Parses a trailing `--jobs N` / `--jobs=N` / `-j N` flag from argv.
+/// Returns `fallback` when absent; throws std::invalid_argument on a
+/// malformed value.
+std::size_t parse_jobs_flag(int argc, char** argv, std::size_t fallback);
+
+/// CLI front end for the benches/examples: parse_jobs_flag over
+/// default_jobs(), but a malformed --jobs or ABW_JOBS prints the error to
+/// stderr and exits 2 instead of propagating (no aborting on a typo).
+std::size_t jobs_from_cli(int argc, char** argv);
+
+/// Executes batches of independent tasks across a fixed-size ThreadPool.
+class BatchRunner {
+ public:
+  /// `jobs` == 0 means default_jobs().  With jobs == 1 no pool is created
+  /// and `map` degenerates to the plain serial loop.
+  explicit BatchRunner(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs `fn(i)` for i in [0, count) and returns {fn(0), ..., fn(count-1)}
+  /// in index order.  `fn` must be callable concurrently from multiple
+  /// threads; its result type must be movable and default-constructible.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> results(count);
+    if (count == 0) return results;
+    if (jobs_ == 1 || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(count);
+    {
+      ThreadPool pool(jobs_ < count ? jobs_ : count);
+      for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i] {
+          try {
+            results[i] = fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+    return results;
+  }
+
+  /// `map` over task seeds derived from `base_seed`: fn(i, derive_seed(...)).
+  template <typename Fn>
+  auto map_seeded(std::size_t count, std::uint64_t base_seed, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}, std::uint64_t{0}))> {
+    return map(count, [&](std::size_t i) { return fn(i, derive_seed(base_seed, i)); });
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace abw::runner

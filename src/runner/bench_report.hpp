@@ -1,0 +1,78 @@
+// Serial-vs-parallel wall-time bookkeeping for the bench binaries.
+//
+// Each bench that adopts the BatchRunner records one entry per batched
+// workload into BENCH_batch.json (a JSON array in the working directory),
+// so the perf trajectory of the parallel runner is tracked across runs
+// and machines.  Because BatchRunner output is bit-identical across
+// thread counts, `timed_speedup_map` can legitimately reuse either run's
+// results.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner/batch.hpp"
+
+namespace abw::runner {
+
+/// One serial-vs-parallel measurement of a batched workload.
+struct BatchTiming {
+  std::string bench;      ///< bench binary / workload label
+  std::size_t tasks = 0;  ///< number of independent tasks in the batch
+  std::size_t jobs = 0;   ///< thread count of the parallel run
+  double serial_s = 0.0;  ///< wall time with jobs=1
+  double parallel_s = 0.0;  ///< wall time with jobs=`jobs`
+  double speedup() const {
+    return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  }
+};
+
+/// Appends `t` to the JSON array in `path` (created when absent).
+void append_bench_batch(const BatchTiming& t,
+                        const std::string& path = "BENCH_batch.json");
+
+/// Monotonic wall clock in seconds (steady_clock).
+double monotonic_seconds();
+
+/// Prints "batch: N tasks, serial X s, parallel(J) Y s, speedup Z".
+void print_batch_timing(const BatchTiming& t);
+
+/// Internal: runs BatchRunner(jobs).map and reports wall seconds.
+template <typename Fn>
+auto detail_timed_map(std::size_t jobs, std::size_t count, Fn&& fn,
+                      double& seconds)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  BatchRunner runner(jobs);
+  double t0 = monotonic_seconds();
+  auto results = runner.map(count, fn);
+  seconds = monotonic_seconds() - t0;
+  return results;
+}
+
+/// Runs `fn` over [0, count) twice — once with jobs=1, once with `jobs`
+/// threads — records wall times under `bench` in BENCH_batch.json, prints
+/// a one-line summary to stdout, and returns the (identical) results of
+/// the parallel run.  With jobs <= 1 the batch runs once, serially, and
+/// both times are that single measurement.
+template <typename Fn>
+auto timed_speedup_map(const std::string& bench, std::size_t count,
+                       std::size_t jobs, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  double serial_s = 0.0, parallel_s = 0.0;
+  std::vector<decltype(fn(std::size_t{0}))> results;
+  if (jobs <= 1) {
+    results = detail_timed_map(1, count, fn, serial_s);
+    parallel_s = serial_s;
+    jobs = 1;
+  } else {
+    detail_timed_map(1, count, fn, serial_s);
+    results = detail_timed_map(jobs, count, fn, parallel_s);
+  }
+  BatchTiming t{bench, count, jobs, serial_s, parallel_s};
+  append_bench_batch(t);
+  print_batch_timing(t);
+  return results;
+}
+
+}  // namespace abw::runner

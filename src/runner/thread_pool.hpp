@@ -1,0 +1,55 @@
+// Fixed-size worker pool for embarrassingly-parallel experiment batches.
+//
+// The DES core (sim::Scheduler / sim::Simulator) is single-threaded by
+// design; parallelism in this library happens strictly ABOVE the
+// simulator, at the replication level: each submitted job owns its whole
+// Simulator/Scenario/Rng world and never shares mutable state with other
+// jobs.  The pool itself is therefore deliberately minimal — a locked
+// queue, N workers, and an idle barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abw::runner {
+
+/// A fixed-size thread pool.  Jobs are plain callables; completion is
+/// observed through `wait_idle()` (the BatchRunner layers result
+/// collection and exception transport on top).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains remaining jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Must not be called concurrently with destruction.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / stop
+  std::condition_variable idle_cv_;   // wait_idle() waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  // jobs currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace abw::runner

@@ -26,7 +26,9 @@ class Scheduler {
   };
 
   /// Schedules `cb` to fire at absolute time `t`.  `t` must not be earlier
-  /// than the most recently popped event time (no scheduling in the past).
+  /// than the most recently popped event time; scheduling in the past is a
+  /// causality bug, so it throws std::logic_error instead of silently
+  /// reordering history.  `t` equal to the last popped time is allowed.
   void schedule(SimTime t, Callback cb);
 
   /// True when no events remain.

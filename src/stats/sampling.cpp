@@ -1,10 +1,12 @@
 #include "stats/sampling.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace abw::stats {
 
-std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng) {
+std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng,
+                                         std::size_t max_attempts) {
   if (count == 0) return {};
   if (horizon <= 0.0)
     throw std::invalid_argument("poisson_sample_times: horizon must be > 0");
@@ -13,7 +15,7 @@ std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng&
   times.reserve(count);
   // Redraw whole sequences until all `count` arrivals land inside the
   // horizon; with mean gap horizon/(count+1) this succeeds quickly.
-  for (int attempt = 0; attempt < 1000; ++attempt) {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     times.clear();
     double t = 0.0;
     for (std::size_t i = 0; i < count; ++i) {
@@ -23,8 +25,11 @@ std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng&
     }
     if (times.size() == count) return times;
   }
-  // Extremely unlikely: fall back to periodic spacing.
-  return periodic_sample_times(count, horizon);
+  // Never degrade to periodic spacing here: that would silently destroy
+  // the PASTA property the Poisson-sampling experiments depend on.
+  throw std::runtime_error(
+      "poisson_sample_times: no draw fit the horizon after " +
+      std::to_string(max_attempts) + " attempts");
 }
 
 std::vector<double> periodic_sample_times(std::size_t count, double horizon) {

@@ -11,11 +11,17 @@
 
 namespace abw::stats {
 
-/// Returns `count` sample instants in [0, horizon) drawn from a Poisson
-/// process whose rate is chosen so ~count arrivals fit the horizon; the
-/// sequence is truncated/padded by redrawing to return exactly `count`
-/// strictly increasing times, all < horizon.
-std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng);
+/// Returns `count` sample instants in (0, horizon) drawn from a Poisson
+/// process whose rate is chosen so ~count arrivals fit the horizon; whole
+/// sequences are redrawn (up to `max_attempts` times) until exactly
+/// `count` strictly increasing times land inside the horizon.
+///
+/// Throws std::runtime_error if no attempt fits.  It must NOT silently
+/// degrade to periodic spacing: periodic sampling breaks the PASTA
+/// property the Poisson-sampling experiments (Fig. 1) rely on, and a
+/// silent fallback would corrupt them without any signal.
+std::vector<double> poisson_sample_times(std::size_t count, double horizon, Rng& rng,
+                                         std::size_t max_attempts = 1000);
 
 /// Evenly spaced sample instants in [0, horizon): i * horizon / count.
 std::vector<double> periodic_sample_times(std::size_t count, double horizon);

@@ -3,6 +3,7 @@
 // truth behind the paper's Eqs. 1-3), and path routing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/link.hpp"
@@ -65,6 +66,43 @@ TEST(Scheduler, RejectsPast) {
 TEST(Scheduler, PopOnEmptyThrows) {
   Scheduler s;
   EXPECT_THROW(s.pop(), std::logic_error);
+}
+
+// Regression for the schedule-in-the-past contract: the documented
+// invariant ("t must not be earlier than the most recently popped event
+// time") must be ENFORCED, not just tracked, including when the violation
+// happens from inside a callback mid-simulation and after the queue has
+// drained and refilled.
+TEST(Scheduler, RejectsPastFromWithinCallback) {
+  Scheduler s;
+  bool threw = false;
+  s.schedule(100, [&] {
+    // The clock is at 100 (this event was just popped); asking for an
+    // event at 40 would rewrite history.
+    try {
+      s.schedule(40, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  while (!s.empty()) s.pop().cb();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Scheduler, PastBoundaryTracksLatestPop) {
+  Scheduler s;
+  s.schedule(10, [] {});
+  s.schedule(30, [] {});
+  (void)s.pop();                           // last popped: 10
+  EXPECT_NO_THROW(s.schedule(20, [] {}));  // between pops: legal
+  (void)s.pop();                           // last popped: 20
+  (void)s.pop();                           // last popped: 30
+  EXPECT_THROW(s.schedule(29, [] {}), std::logic_error);
+  EXPECT_NO_THROW(s.schedule(30, [] {}));  // boundary is inclusive
+  // Draining the queue must not reset the enforcement floor.
+  (void)s.pop();
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.schedule(29, [] {}), std::logic_error);
 }
 
 // ---------------------------------------------------------- simulator ---
@@ -188,6 +226,87 @@ TEST(UtilizationMeter, SameAttributionStillCoalesces) {
 TEST(UtilizationMeter, EmptyMeterIsIdle) {
   UtilizationMeter m(5e6);
   EXPECT_DOUBLE_EQ(m.avail_bw(0, 100), 5e6);
+}
+
+// Brute-force reference for the prefix-sum window queries: intersect the
+// window with every recorded interval directly (equivalent to summing a
+// per-nanosecond indicator).  The meter's binary-search + edge-trimming
+// fast path must agree exactly on EVERY window, in particular windows that
+// partially cover measurement and non-measurement edge intervals and
+// windows that fall fully inside one busy interval.
+struct RefInterval {
+  SimTime start, end;
+  bool meas;
+};
+
+SimTime ref_busy(const std::vector<RefInterval>& iv, SimTime t1, SimTime t2,
+                 bool meas_only) {
+  SimTime total = 0;
+  for (const auto& i : iv) {
+    if (meas_only && !i.meas) continue;
+    SimTime lo = std::max(i.start, t1);
+    SimTime hi = std::min(i.end, t2);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+TEST(UtilizationMeter, WindowTrimmingMatchesBruteForceExhaustively) {
+  // Mixed attribution, an idle gap, and adjacent intervals whose
+  // attribution flips (so they stay separate): 5 stored intervals in
+  // [2, 28) with edges at every flavor of partial coverage reachable.
+  const std::vector<RefInterval> iv = {
+      {2, 6, false}, {6, 9, true}, {12, 18, false}, {18, 20, true},
+      {24, 28, false}};
+  UtilizationMeter m(1e6);
+  for (const auto& i : iv) m.add_busy(i.start, i.end, i.meas);
+  ASSERT_EQ(m.interval_count(), iv.size());
+
+  for (SimTime t1 = 0; t1 <= 30; ++t1) {
+    for (SimTime t2 = t1 + 1; t2 <= 30; ++t2) {
+      EXPECT_EQ(m.busy_time(t1, t2), ref_busy(iv, t1, t2, false))
+          << "busy_time window [" << t1 << ", " << t2 << ")";
+      EXPECT_EQ(m.measurement_busy_time(t1, t2), ref_busy(iv, t1, t2, true))
+          << "measurement_busy_time window [" << t1 << ", " << t2 << ")";
+      SimTime cross = ref_busy(iv, t1, t2, false) - ref_busy(iv, t1, t2, true);
+      double u = static_cast<double>(cross) / static_cast<double>(t2 - t1);
+      EXPECT_DOUBLE_EQ(m.cross_avail_bw(t1, t2), 1e6 * (1.0 - u))
+          << "cross_avail_bw window [" << t1 << ", " << t2 << ")";
+    }
+  }
+}
+
+TEST(UtilizationMeter, WindowFullyInsideOneBusyInterval) {
+  UtilizationMeter m(8e6);
+  m.add_busy(100, 200, /*measurement=*/false);
+  m.add_busy(300, 400, /*measurement=*/true);
+  // Both edges of the window trim the SAME stored interval.
+  EXPECT_EQ(m.busy_time(130, 170), 40);
+  EXPECT_DOUBLE_EQ(m.utilization(130, 170), 1.0);
+  EXPECT_DOUBLE_EQ(m.avail_bw(130, 170), 0.0);
+  EXPECT_EQ(m.measurement_busy_time(130, 170), 0);
+  EXPECT_DOUBLE_EQ(m.cross_avail_bw(130, 170), 0.0);
+  // Same, inside the measurement interval: cross avail-bw is full capacity.
+  EXPECT_EQ(m.busy_time(320, 380), 60);
+  EXPECT_EQ(m.measurement_busy_time(320, 380), 60);
+  EXPECT_DOUBLE_EQ(m.cross_avail_bw(320, 380), 8e6);
+}
+
+TEST(UtilizationMeter, WindowStraddlingMixedAttributionEdges) {
+  UtilizationMeter m(2e6);
+  m.add_busy(0, 10, /*measurement=*/true);    // meas edge, partially covered
+  m.add_busy(10, 20, /*measurement=*/false);  // cross middle
+  m.add_busy(20, 30, /*measurement=*/true);   // meas edge, partially covered
+  // Window [5, 25): 5 of each meas edge + all 10 cross.
+  EXPECT_EQ(m.busy_time(5, 25), 20);
+  EXPECT_EQ(m.measurement_busy_time(5, 25), 10);
+  EXPECT_DOUBLE_EQ(m.cross_avail_bw(5, 25), 2e6 * (1.0 - 10.0 / 20.0));
+  // Window whose edges land exactly on attribution flips (no trimming).
+  EXPECT_EQ(m.busy_time(10, 20), 10);
+  EXPECT_EQ(m.measurement_busy_time(10, 20), 0);
+  // Window covering only idle time after the last interval.
+  EXPECT_EQ(m.busy_time(30, 40), 0);
+  EXPECT_EQ(m.measurement_busy_time(30, 40), 0);
 }
 
 // --------------------------------------------------------------- link ---

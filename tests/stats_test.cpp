@@ -369,6 +369,33 @@ TEST(Sampling, RejectsBadHorizon) {
   EXPECT_THROW(periodic_sample_times(5, -1.0), std::invalid_argument);
 }
 
+// Regression: exhausting the redraw budget must THROW, never silently
+// fall back to periodic spacing — periodic sampling breaks PASTA and
+// would corrupt the Fig. 1 Poisson-sampling experiment without signal.
+TEST(Sampling, ExhaustedRedrawsThrowInsteadOfGoingPeriodic) {
+  Rng r(5);
+  EXPECT_THROW(poisson_sample_times(10, 1.0, r, /*max_attempts=*/0),
+               std::runtime_error);
+}
+
+// The returned instants must always be strictly increasing and strictly
+// inside (0, horizon), across many seeds and a count large enough that
+// individual attempts routinely overshoot the horizon and redraw.
+TEST(Sampling, TimesStrictlyIncreasingAndInsideHorizonAcrossSeeds) {
+  const double horizon = 3.0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng r(seed);
+    auto times = poisson_sample_times(400, horizon, r);
+    ASSERT_EQ(times.size(), 400u) << "seed " << seed;
+    double prev = 0.0;
+    for (double t : times) {
+      EXPECT_GT(t, prev) << "seed " << seed;
+      EXPECT_LT(t, horizon) << "seed " << seed;
+      prev = t;
+    }
+  }
+}
+
 // -------------------------------------------------------- effective bw ---
 
 TEST(EffectiveBw, ConstantLoadEqualsLoad) {
