@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for the DES kernel micro-benchmarks.
+
+Compares a fresh google-benchmark JSON run of bench/micro_sim against the
+committed baseline (bench/BENCH_core.baseline.json) and fails when any
+benchmark's throughput drops below --threshold times its baseline.
+
+Typical use (micro_sim writes BENCH_core.json by default):
+
+    cd build && ./bench/micro_sim && python3 ../bench/check_regression.py
+
+or via the `bench_check` CMake target.  Baselines are machine-specific:
+refresh the committed file (copy a run's BENCH_core.json over it) whenever
+the reference machine or an intentional perf trade-off changes.
+
+Exit codes: 0 ok, 1 regression, 2 usage/file error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_throughputs(path):
+    """Map benchmark name -> items_per_second (falls back to 1/real_time).
+
+    Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+    skipped except the median, which then replaces the raw-run rows.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_regression: cannot read {path}: {e}")
+    out = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        agg = b.get("aggregate_name")
+        if agg and agg != "median":
+            continue
+        value = b.get("items_per_second")
+        if value is None:
+            real = b.get("real_time")
+            if not real:
+                continue
+            value = 1e9 / real  # iterations/s from ns; unit cancels in ratio
+        if agg == "median":
+            medians[name.removesuffix("_median")] = value
+        else:
+            out[name] = value
+    out.update(medians)
+    return out
+
+
+def main():
+    here = Path(__file__).resolve().parent
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", nargs="?", default="BENCH_core.json",
+                    help="fresh run to check (default: ./BENCH_core.json)")
+    ap.add_argument("--baseline", default=str(here / "BENCH_core.baseline.json"),
+                    help="committed reference run")
+    ap.add_argument("--threshold", type=float, default=0.80,
+                    help="fail when current < threshold * baseline "
+                         "(default 0.80; noisy shared machines need slack)")
+    args = ap.parse_args()
+    if not 0 < args.threshold <= 1.5:
+        sys.exit("check_regression: --threshold out of range")
+
+    base = load_throughputs(args.baseline)
+    cur = load_throughputs(args.current)
+
+    failures = []
+    print(f"{'benchmark':<28}{'baseline':>14}{'current':>14}{'ratio':>8}")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name:<28}{base[name]:>14.3e}{'missing':>14}{'':>8}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur[name] / base[name]
+        flag = "" if ratio >= args.threshold else "  << REGRESSION"
+        print(f"{name:<28}{base[name]:>14.3e}{cur[name]:>14.3e}{ratio:>8.2f}{flag}")
+        if ratio < args.threshold:
+            failures.append(f"{name}: {ratio:.2f}x of baseline "
+                            f"(threshold {args.threshold:.2f})")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<28}{'(new)':>14}{cur[name]:>14.3e}{'':>8}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark below "
+          f"{args.threshold:.2f}x of baseline ({len(base)} checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 
 #include "core/report.hpp"
 #include "runner/batch.hpp"
+#include "runner/cli.hpp"
 #include "runner/bench_report.hpp"
 #include "stats/cdf.hpp"
 #include "stats/moments.hpp"

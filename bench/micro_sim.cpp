@@ -2,7 +2,28 @@
 // scheduling throughput, link forwarding, utilization-meter queries, and
 // a full probing round trip.  These bound how large the paper-scale
 // experiments (500-stream curves, multi-minute TCP runs) can get.
+//
+// The two headline benchmarks (BM_SchedulerChurn, BM_LinkForwarding)
+// measure *steady state*: a warm event pool with a constant pending-event
+// population, the regime a long-running experiment lives in.  Cold-start
+// behavior (fresh simulator, growing pool) is covered separately by
+// BM_SchedulerColdStart.  Closures carry a Packet by value because that
+// is what the real hot path schedules (a [handler*, Packet] delivery
+// capture); tiny captures would hide the cost of callback storage.
+//
+// Running the binary with no arguments writes machine-readable results to
+// BENCH_core.json in the current directory (see main() below);
+// bench/check_regression.py compares such a run against the committed
+// bench/BENCH_core.baseline.json.  The same source compiles against the
+// seed (pre-PR) kernel — the `if constexpr (requires ...)` guards skip
+// introspection the seed does not have — which is how the committed
+// baseline's `seed` numbers were produced.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "probe/stream_spec.hpp"
@@ -15,7 +36,62 @@ namespace {
 
 using namespace abw;
 
+// Records the pending-event high-water mark when the kernel exposes it
+// (template so the discarded branch is never instantiated: this source
+// also compiles against the seed kernel to produce baselines).
+template <typename Sim>
+void record_peak_events(Sim& simu, benchmark::State& state) {
+  if constexpr (requires { simu.peak_event_count(); })
+    state.counters["peak_events"] =
+        static_cast<double>(simu.peak_event_count());
+}
+
+// Steady-state event churn ("hold model"): a fixed population of pending
+// events where every pop schedules a replacement at a pseudo-random
+// future offset.  Throughput here is the ceiling on total simulated
+// events per wall-clock second.
 void BM_SchedulerChurn(benchmark::State& state) {
+  sim::Simulator simu;
+  constexpr int kPending = 1000;  // events in flight at all times
+  // Gap in [1, 1024] ns via a mask (a modulo's integer divide would be
+  // benchmark overhead on the critical path); ~2 events per sim-ns.
+  constexpr std::uint64_t kGapMask = 1023;
+
+  struct Churner {
+    sim::Simulator* simu;
+    sim::Packet pkt;  // realistic capture: the hot path schedules Packets
+    void operator()() {
+      pkt.id = pkt.id * 6364136223846793005ULL + 1442695040888963407ULL;
+      sim::SimTime gap =
+          1 + static_cast<sim::SimTime>((pkt.id >> 33) & kGapMask);
+      simu->after(gap, *this);
+    }
+  };
+  static_assert(sizeof(Churner) == sizeof(sim::Packet) + 8,
+                "capture should match the [handler*, Packet] delivery closure");
+
+  for (int i = 0; i < kPending; ++i) {
+    sim::Packet pkt;
+    pkt.id = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    pkt.size_bytes = 1500;
+    simu.at(1 + i, Churner{&simu, pkt});
+  }
+  const std::uint64_t start_events = simu.events_processed();
+  sim::SimTime t = simu.now();
+  for (auto _ : state) {
+    t += 5000;  // ~10k events per iteration at the steady-state rate
+    simu.run_until(t);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(simu.events_processed() - start_events));
+  record_peak_events(simu, state);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+// Cold start: construct a simulator, schedule a 10k-event backlog, drain
+// it.  Dominated by pool/heap growth and first-touch memory, not by the
+// steady-state path.
+void BM_SchedulerColdStart(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simu;
     int fired = 0;
@@ -26,25 +102,41 @@ void BM_SchedulerChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10000);
 }
-BENCHMARK(BM_SchedulerChurn);
+BENCHMARK(BM_SchedulerColdStart);
 
+// Sustained store-and-forward across a two-hop path (fast access link
+// into a tighter bottleneck, both with propagation delay), paced at the
+// bottleneck service rate: every packet exercises queueing, two
+// serializations, two propagation deliveries, and the utilization meter.
 void BM_LinkForwarding(benchmark::State& state) {
+  constexpr int kPackets = 5000;
+  struct Injector {
+    sim::Simulator* simu;
+    sim::Path* path;
+    int remaining;
+    void operator()() {
+      sim::Packet pkt;
+      pkt.size_bytes = 1500;
+      path->inject(0, pkt);
+      if (--remaining > 0) simu->after(24000, *this);  // bottleneck pace
+    }
+  };
   for (auto _ : state) {
     sim::Simulator simu;
-    sim::LinkConfig cfg;
-    cfg.capacity_bps = 1e9;
-    sim::Path path(simu, {cfg});
+    sim::LinkConfig fast, tight;
+    fast.capacity_bps = 1e9;
+    fast.propagation_delay = 100;
+    tight.capacity_bps = 5e8;  // 1500B service = 24 us
+    tight.propagation_delay = 100;
+    sim::Path path(simu, {fast, tight});
     sim::CountingSink sink;
     path.set_receiver(&sink);
-    for (int i = 0; i < 5000; ++i) {
-      sim::Packet p;
-      p.size_bytes = 1500;
-      simu.at(i * 100, [&path, p] { path.inject(0, p); });
-    }
+    simu.at(0, Injector{&simu, &path, kPackets});
     simu.run_until_idle();
     benchmark::DoNotOptimize(sink.packets());
+    record_peak_events(simu, state);
   }
-  state.SetItemsProcessed(state.iterations() * 5000);
+  state.SetItemsProcessed(state.iterations() * kPackets);
 }
 BENCHMARK(BM_LinkForwarding);
 
@@ -65,6 +157,25 @@ void BM_MeterWindowQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MeterWindowQuery);
+
+// Full avail_bw_series sweep over a long busy history — the ground-truth
+// curve extraction used by every figure experiment.
+void BM_MeterSeriesSweep(benchmark::State& state) {
+  sim::UtilizationMeter meter(100e6);
+  sim::SimTime t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    meter.add_busy(t, t + 120, i % 3 == 0);
+    t += 250;
+  }
+  std::size_t produced = 0;
+  for (auto _ : state) {
+    auto series = meter.avail_bw_series(0, t, 10000, true);
+    produced += series.size();
+    benchmark::DoNotOptimize(series.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(produced));
+}
+BENCHMARK(BM_MeterSeriesSweep);
 
 void BM_PoissonTrafficSecond(benchmark::State& state) {
   for (auto _ : state) {
@@ -96,3 +207,26 @@ void BM_ProbeStreamRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_ProbeStreamRoundTrip);
 
 }  // namespace
+
+// Custom main: unless the caller already passed --benchmark_out, default
+// to writing JSON results to BENCH_core.json in the current directory so
+// `./micro_sim && python3 ../bench/check_regression.py ...` needs no
+// flag plumbing.  All standard google-benchmark flags still work.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int nargs = static_cast<int>(args.size());
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "est/spruce.hpp"
 #include "est/topp.hpp"
 #include "runner/batch.hpp"
+#include "runner/cli.hpp"
 #include "runner/bench_report.hpp"
 #include "stats/moments.hpp"
 

@@ -17,6 +17,7 @@
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "runner/batch.hpp"
+#include "runner/cli.hpp"
 #include "runner/bench_report.hpp"
 
 int main(int argc, char** argv) {

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "runner/cli.hpp"  // default_jobs() — also re-exported for callers
 #include "runner/thread_pool.hpp"
 
 namespace abw::runner {
@@ -32,22 +33,8 @@ std::uint64_t splitmix64(std::uint64_t x);
 /// (with the index pre-mixed so low-entropy bases still decorrelate).
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index);
 
-/// Number of parallel jobs to use by default: the ABW_JOBS environment
-/// variable when set to a positive integer, else hardware_concurrency()
-/// (at least 1).
-std::size_t default_jobs();
-
-/// Parses a trailing `--jobs N` / `--jobs=N` / `-j N` flag from argv.
-/// Returns `fallback` when absent; throws std::invalid_argument on a
-/// malformed value.
-std::size_t parse_jobs_flag(int argc, char** argv, std::size_t fallback);
-
-/// CLI front end for the benches/examples: parse_jobs_flag over
-/// default_jobs(), but a malformed --jobs or ABW_JOBS prints the error to
-/// stderr and exits 2 instead of propagating (no aborting on a typo).
-std::size_t jobs_from_cli(int argc, char** argv);
-
 /// Executes batches of independent tasks across a fixed-size ThreadPool.
+/// Jobs-count CLI/env parsing lives in runner/cli.hpp.
 class BatchRunner {
  public:
   /// `jobs` == 0 means default_jobs().  With jobs == 1 no pool is created

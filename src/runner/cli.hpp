@@ -1,0 +1,26 @@
+// Shared CLI helpers for the parallel benches and examples: one home for
+// the `--jobs N` / `--jobs=N` / `-j N` flag and the ABW_JOBS environment
+// variable, so every binary parses them identically (PR 1 grew three
+// drifting copies of this logic).
+#pragma once
+
+#include <cstddef>
+
+namespace abw::runner {
+
+/// Number of parallel jobs to use by default: the ABW_JOBS environment
+/// variable when set to a positive integer, else hardware_concurrency()
+/// (at least 1).
+std::size_t default_jobs();
+
+/// Parses a trailing `--jobs N` / `--jobs=N` / `-j N` flag from argv.
+/// Returns `fallback` when absent; throws std::invalid_argument on a
+/// malformed value.
+std::size_t parse_jobs_flag(int argc, char** argv, std::size_t fallback);
+
+/// CLI front end for the benches/examples: parse_jobs_flag over
+/// default_jobs(), but a malformed --jobs or ABW_JOBS prints the error to
+/// stderr and exits 2 instead of propagating (no aborting on a typo).
+std::size_t jobs_from_cli(int argc, char** argv);
+
+}  // namespace abw::runner

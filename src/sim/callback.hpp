@@ -1,0 +1,155 @@
+// Small-buffer-optimized callback for the event queue hot path.
+//
+// Every packet transmission, delivery, and generator wakeup schedules one
+// callback; with std::function, captures beyond its tiny SSO buffer (a
+// `[this, Packet]` capture is 56 bytes) heap-allocate on EVERY event.  A
+// SmallCallback stores up to kInlineSize bytes of capture inline — sized
+// for the closures links, generators, and probes actually create — so the
+// steady-state packet path performs zero heap allocations.  Larger
+// captures still work; they transparently fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace abw::sim {
+
+/// Move-only type-erased `void()` callable with inline capture storage.
+class SmallCallback {
+ public:
+  /// Inline capture budget: fits the largest hot-path closure, a
+  /// [handler*, Packet] delivery capture (8 + 48 bytes), and keeps
+  /// sizeof(SmallCallback) at exactly one cache line (56 + 8-byte ops).
+  static constexpr std::size_t kInlineSize = 56;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// True when the stored callable relocates by plain memcpy and needs no
+  /// destructor — every hot-path closure (pointer + POD captures).  Moves
+  /// of such callbacks are branch + memcpy, no indirect calls.
+  template <typename Fn>
+  static constexpr bool is_trivial() {
+    return fits_inline<Fn>() && std::is_trivially_copyable_v<Fn> &&
+           std::is_trivially_destructible_v<Fn>;
+  }
+
+  /// Replaces the stored callable by constructing `f` directly in the
+  /// inline buffer (or on the heap if oversized) — no temporary
+  /// SmallCallback, no move.  The pooled scheduler builds events with
+  /// this, so scheduling a small closure writes only its capture bytes.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    reset();
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  /// Destroys the stored callable, leaving the callback empty.
+  void clear() { reset(); }
+
+  SmallCallback(SmallCallback&& other) noexcept { steal(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->call(buf_); }
+
+  /// True when a callable of type `Fn` is stored inline (no allocation).
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* self);
+    /// Move-constructs the stored callable into `dst` and destroys the
+    /// source — relocation, the only move the pooled queue needs.  Null
+    /// for trivially relocatable callables (steal() memcpys instead).
+    void (*relocate)(void* dst, void* src);
+    /// Null when the callable needs no destruction.
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static Fn* as(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*as<Fn>(self))(); },
+      is_trivial<Fn>() ? nullptr
+                       : +[](void* dst, void* src) {
+                           Fn* s = as<Fn>(src);
+                           ::new (dst) Fn(std::move(*s));
+                           s->~Fn();
+                         },
+      is_trivial<Fn>() ? nullptr : +[](void* self) { as<Fn>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**as<Fn*>(self))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(*as<Fn*>(src)); },
+      [](void* self) { delete *as<Fn*>(self); },
+  };
+
+  void steal(SmallCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->relocate == nullptr) {
+        std::memcpy(buf_, other.buf_, kInlineSize);  // trivial fast path
+      } else {
+        ops_->relocate(buf_, other.buf_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace abw::sim

@@ -36,8 +36,14 @@ void Link::handle(Packet pkt) {
     return;
   }
   queued_bytes_ += pkt.size_bytes;
-  queue_.push_back(pkt);
-  if (!transmitting_) start_transmission();
+  if (!transmitting_) {
+    // Uncongested fast path: an idle link's queue is empty (the transmit
+    // loop only clears transmitting_ once it drained the queue), so the
+    // packet can skip the ring round-trip entirely.
+    begin_transmission(pkt);
+  } else {
+    queue_.push_back(pkt);
+  }
 }
 
 void Link::start_transmission() {
@@ -45,29 +51,47 @@ void Link::start_transmission() {
     transmitting_ = false;
     return;
   }
-  transmitting_ = true;
-  Packet pkt = queue_.front();
+  begin_transmission(queue_.front());
   queue_.pop_front();
+}
 
-  SimTime tx = transmission_time(pkt.size_bytes, cfg_.capacity_bps);
+void Link::begin_transmission(const Packet& pkt) {
+  transmitting_ = true;
+  tx_pkt_ = pkt;
+
+  // Serialization time memo: experiments transmit runs of equal-size
+  // packets, so one compare replaces a double divide on the hot path
+  // (same inputs -> same SimTime; timing is unchanged).
+  if (pkt.size_bytes != memo_tx_bytes_) {
+    memo_tx_bytes_ = pkt.size_bytes;
+    memo_tx_time_ = transmission_time(pkt.size_bytes, cfg_.capacity_bps);
+  }
   SimTime start = sim_.now();
-  SimTime done = start + tx;
+  SimTime done = start + memo_tx_time_;
   meter_.add_busy(start, done, pkt.measurement);
 
-  sim_.at(done, [this, pkt]() mutable {
-    queued_bytes_ -= pkt.size_bytes;
-    ++stats_.packets_out;
-    stats_.bytes_out += pkt.size_bytes;
-    if (next_ == nullptr) throw std::logic_error("Link '" + name_ + "': no next handler");
-    // Deliver after propagation; capture by value so the packet survives.
-    PacketHandler* next = next_;
-    if (cfg_.propagation_delay == 0) {
-      next->handle(pkt);
-    } else {
-      sim_.after(cfg_.propagation_delay, [next, pkt]() mutable { next->handle(pkt); });
-    }
-    start_transmission();
-  });
+  // The single recurring transmit event: an 8-byte [this] capture, stored
+  // inline in the pooled queue.  tx_pkt_ is stable until this fires —
+  // handle() never starts a transmission while transmitting_ is set.
+  sim_.at(done, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  queued_bytes_ -= tx_pkt_.size_bytes;
+  ++stats_.packets_out;
+  stats_.bytes_out += tx_pkt_.size_bytes;
+  if (next_ == nullptr) throw std::logic_error("Link '" + name_ + "': no next handler");
+  // Deliver after propagation; capture by value so the packet survives
+  // (several deliveries can be in flight at once along the propagation
+  // pipe — each closure owns its copy, and the capture fits inline).
+  PacketHandler* next = next_;
+  if (cfg_.propagation_delay == 0) {
+    next->handle(tx_pkt_);  // by-value: the callee owns its copy
+  } else {
+    sim_.after(cfg_.propagation_delay,
+               [next, pkt = tx_pkt_]() mutable { next->handle(pkt); });
+  }
+  start_transmission();
 }
 
 bool Link::red_drop(std::uint32_t size_bytes) {

@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "sim/packet.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "sim/util_meter.hpp"
@@ -72,6 +72,7 @@ class Link final : public PacketHandler {
 
   const LinkStats& stats() const { return stats_; }
   const UtilizationMeter& meter() const { return meter_; }
+  UtilizationMeter& meter() { return meter_; }
   double capacity_bps() const { return cfg_.capacity_bps; }
   SimTime propagation_delay() const { return cfg_.propagation_delay; }
   const std::string& name() const { return name_; }
@@ -91,8 +92,14 @@ class Link final : public PacketHandler {
     tap_ = std::move(tap);
   }
 
+  /// Pre-sizes the output queue for `n` queued packets (steady-state
+  /// allocation-free operation; see tests/sim_alloc_test.cpp).
+  void reserve_queue(std::size_t n) { queue_.reserve(n); }
+
  private:
-  void start_transmission();
+  void start_transmission();                   // pull the next queued packet
+  void begin_transmission(const Packet& pkt);  // serialize + arm the event
+  void finish_transmission();  // the link's single recurring tx event
   bool red_drop(std::uint32_t size_bytes);  // RED admission decision
 
   Simulator& sim_;
@@ -100,9 +107,17 @@ class Link final : public PacketHandler {
   LinkConfig cfg_;
   PacketHandler* next_ = nullptr;
 
-  std::deque<Packet> queue_;
+  // The transmit loop self-drives through ONE event at a time: the packet
+  // being serialized sits in tx_pkt_ and the scheduled [this] completion
+  // thunk re-arms itself from the ring queue — no per-packet closure.
+  RingQueue<Packet> queue_;
+  Packet tx_pkt_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
+  // Last (size -> serialization time) pair; bytes=0 maps to time 0, which
+  // matches transmission_time(0), so the empty memo is consistent.
+  std::uint32_t memo_tx_bytes_ = 0;
+  SimTime memo_tx_time_ = 0;
 
   LinkStats stats_;
   UtilizationMeter meter_;

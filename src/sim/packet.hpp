@@ -21,21 +21,29 @@ inline constexpr std::uint32_t kEndToEnd = std::numeric_limits<std::uint32_t>::m
 
 /// A packet in flight.  `size_bytes` is the wire size used for
 /// serialization-time and queue-occupancy computations.
+///
+/// Field order packs the struct into 48 bytes (the single-byte members
+/// share one word instead of forcing padding): a hot-path delivery
+/// closure capturing [handler*, Packet] is then 56 bytes and fits a
+/// pooled event slot inline (SmallCallback::kInlineSize) — no heap
+/// allocation per hop.  Don't reorder without re-checking
+/// tests/sim_alloc_test.cpp.
 struct Packet {
   std::uint64_t id = 0;          ///< globally unique, assigned by Simulator
-  PacketType type = PacketType::kCross;
+  SimTime send_time = 0;         ///< injection time at the origin
+  SimTime recv_time = 0;         ///< set on final delivery
   std::uint32_t size_bytes = 0;
   std::uint32_t flow_id = 0;     ///< generator / connection identifier
   std::uint32_t stream_id = 0;   ///< probe stream index (probe packets)
   std::uint32_t seq = 0;         ///< sequence number within flow or stream
   std::uint32_t exit_hop = kEndToEnd;  ///< hop after which the packet leaves
                                        ///< the path (one-hop cross traffic)
+  PacketType type = PacketType::kCross;
   bool measurement = false;      ///< belongs to the measurement itself
                                  ///< (probes, the measured TCP flow) and is
                                  ///< excluded from cross-traffic ground truth
-  SimTime send_time = 0;         ///< injection time at the origin
-  SimTime recv_time = 0;         ///< set on final delivery
 };
+static_assert(sizeof(Packet) == 48, "keep the delivery closure inline-sized");
 
 /// Interface for anything that can accept a packet: links, router nodes,
 /// receivers.  Implementations take the packet by value and may forward,

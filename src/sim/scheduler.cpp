@@ -1,25 +1,100 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace abw::sim {
 
-void Scheduler::schedule(SimTime t, Callback cb) {
-  if (t < last_popped_)
-    throw std::logic_error("Scheduler::schedule: event in the past");
-  heap_.push_back(Event{t, next_seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void Scheduler::throw_past_event() {
+  throw std::logic_error("Scheduler::schedule: event in the past");
+}
+
+void Scheduler::throw_seq_overflow() {
+  throw std::length_error("Scheduler: event sequence number overflow");
+}
+
+std::uint32_t Scheduler::acquire_fresh_slot() {
+  if (next_fresh_slot_ >= kSlotCapacity)
+    throw std::length_error("Scheduler: > 2^24 concurrently pending events");
+  if ((next_fresh_slot_ >> kChunkShift) == chunks_.size())
+    chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
+  return next_fresh_slot_++;
+}
+
+SimTime Scheduler::next_time() const {
+  if (heap_.empty()) throw std::logic_error("Scheduler::next_time: empty");
+  return heap_.front().time;
+}
+
+Scheduler::Entry Scheduler::remove_top() {
+  if (heap_.empty()) throw std::logic_error("Scheduler::pop: empty");
+  Entry top = heap_.front();
+#if defined(__GNUC__)
+  // The callback slot is a data-dependent load; start it while the sift
+  // below reshuffles the heap.
+  __builtin_prefetch(&slot_ref(top.slot()));
+#endif
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    sift_down(0);
+  }
+  last_popped_ = top.time;
+  return top;
 }
 
 Scheduler::Event Scheduler::pop() {
-  if (heap_.empty()) throw std::logic_error("Scheduler::pop: empty");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  last_popped_ = ev.time;
+  Entry top = remove_top();
+  Event ev{top.time, top.seq(), std::move(slot_ref(top.slot()))};
+  free_slots_.push_back(top.slot());
   return ev;
+}
+
+void Scheduler::reserve(std::size_t n) {
+  heap_.reserve(n);
+  free_slots_.reserve(n);
+  while (pool_capacity() < n)
+    chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  // Bottom-up heapify (Wegener): the element being sifted is the old
+  // *last leaf*, which almost always belongs near the bottom — so first
+  // walk the hole all the way down along the min-child path (no
+  // compare-against-v per level, saving a data-dependent branch), then
+  // sift v back up the few (usually zero) levels it needs.  Any valid
+  // heap arrangement pops the same strict (time, seq) order, so results
+  // are bit-identical to the classic top-down sift.
+  const std::size_t n = heap_.size();
+  Entry v = heap_[i];
+  std::size_t first;
+  while ((first = i * kArity + 1) + kArity <= n) {
+    // Full child group: pick the min by pairwise tournament.  A linear
+    // "scan for min" makes each load/compare depend on the previous
+    // one; the tournament issues all four (independent, contiguous)
+    // loads at once and is latency-bound on only two compare levels.
+    std::size_t a = first + (before(heap_[first + 1], heap_[first]) ? 1 : 0);
+    std::size_t b =
+        first + 2 + (before(heap_[first + 3], heap_[first + 2]) ? 1 : 0);
+    std::size_t best = before(heap_[b], heap_[a]) ? b : a;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  if (first < n) {  // partial group at the bottom edge
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < n; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > 0) {
+    std::size_t parent = (i - 1) / kArity;
+    if (!before(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = v;
 }
 
 }  // namespace abw::sim

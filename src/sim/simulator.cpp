@@ -5,32 +5,24 @@
 
 namespace abw::sim {
 
-void Simulator::at(SimTime t, std::function<void()> cb) {
-  if (t < now_) throw std::logic_error("Simulator::at: time in the past");
-  scheduler_.schedule(t, std::move(cb));
-}
-
-void Simulator::after(SimTime delay, std::function<void()> cb) {
-  if (delay < 0) throw std::logic_error("Simulator::after: negative delay");
-  scheduler_.schedule(now_ + delay, std::move(cb));
-}
-
 void Simulator::step() {
-  Scheduler::Event ev = scheduler_.pop();
-  now_ = ev.time;  // advance the clock BEFORE the callback runs
-  ++events_processed_;
-  ev.cb();
+  // The callback runs in place in its pooled slot; the clock advances
+  // BEFORE it runs (the on_pop hook fires between queue update and call).
+  scheduler_.pop_and_run([this](SimTime t) {
+    now_ = t;
+    ++events_processed_;
+  });
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!scheduler_.empty() && scheduler_.next_time() <= t) step();
+  while (!scheduler_.empty() && scheduler_.next_time_unchecked() <= t) step();
   if (now_ < t) now_ = t;
 }
 
 bool Simulator::run_until_condition(SimTime t_max,
                                     const std::function<bool()>& done) {
   if (done()) return true;
-  while (!scheduler_.empty() && scheduler_.next_time() <= t_max) {
+  while (!scheduler_.empty() && scheduler_.next_time_unchecked() <= t_max) {
     step();
     if (done()) return true;
   }

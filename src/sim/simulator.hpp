@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -20,11 +22,22 @@ class Simulator {
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `t` (>= now()).
-  void at(SimTime t, std::function<void()> cb);
+  /// Schedules `cb` at absolute time `t` (>= now()).  Accepts any
+  /// `void()` callable; it is constructed directly into a pooled event
+  /// slot, and captures up to SmallCallback::kInlineSize bytes are stored
+  /// inline (no heap allocation, no callback move).
+  template <typename F>
+  void at(SimTime t, F&& cb) {
+    if (t < now_) throw std::logic_error("Simulator::at: time in the past");
+    scheduler_.schedule_emplace(t, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` `delay` nanoseconds from now (delay >= 0).
-  void after(SimTime delay, std::function<void()> cb);
+  template <typename F>
+  void after(SimTime delay, F&& cb) {
+    if (delay < 0) throw std::logic_error("Simulator::after: negative delay");
+    scheduler_.schedule_emplace(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Runs events until the queue is empty or the next event is past `t`;
   /// the clock is left at min(t, last event time processed ... t).
@@ -46,6 +59,16 @@ class Simulator {
 
   /// Total events processed (for micro-benchmarks and sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
+
+  /// High-water mark of concurrently pending events — the working-set
+  /// size of the event queue (reported in BENCH_core.json).
+  std::size_t peak_event_count() const { return scheduler_.peak_size(); }
+
+  /// Pooled callback slots created so far; constant at steady state.
+  std::size_t event_pool_capacity() const { return scheduler_.pool_capacity(); }
+
+  /// Pre-sizes the event queue for `n` concurrent events.
+  void reserve_events(std::size_t n) { scheduler_.reserve(n); }
 
  private:
   void step();  // pop one event, advance the clock, run the callback

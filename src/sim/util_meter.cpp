@@ -87,10 +87,48 @@ std::vector<double> UtilizationMeter::avail_bw_series(SimTime t0, SimTime t1,
                                                       bool exclude_measurement) const {
   if (tau <= 0) throw std::invalid_argument("avail_bw_series: tau must be > 0");
   std::vector<double> out;
-  for (SimTime t = t0; t + tau <= t1; t += tau)
-    out.push_back(exclude_measurement ? cross_avail_bw(t, t + tau)
-                                      : avail_bw(t, t + tau));
+  if (t0 + tau > t1) return out;
+  out.reserve(static_cast<std::size_t>((t1 - t0) / tau));
+
+  // Consecutive windows have monotonically increasing bounds, so the
+  // binary searches of window_sum collapse to two pointers that only move
+  // forward: `lo` = first interval ending after the window start
+  // (upper_bound over ends_), `hi` = first interval starting at/after the
+  // window end (lower_bound over starts_).  The integer busy/measurement
+  // sums — and therefore the resulting doubles — are identical to what
+  // per-window busy_time()/measurement_busy_time() queries compute.
+  const std::size_t n = starts_.size();
+  std::size_t lo = 0, hi = 0;
+  for (SimTime t = t0; t + tau <= t1; t += tau) {
+    const SimTime w1 = t, w2 = t + tau;
+    while (lo < n && ends_[lo] <= w1) ++lo;
+    while (hi < n && starts_[hi] < w2) ++hi;
+    SimTime busy = 0, meas = 0;
+    if (lo < hi) {
+      busy = cum_busy_[hi - 1] - (lo == 0 ? 0 : cum_busy_[lo - 1]);
+      meas = cum_meas_busy_[hi - 1] - (lo == 0 ? 0 : cum_meas_busy_[lo - 1]);
+      if (starts_[lo] < w1) {  // trim the partially covered left edge
+        busy -= w1 - starts_[lo];
+        if (is_meas_[lo]) meas -= w1 - starts_[lo];
+      }
+      if (ends_[hi - 1] > w2) {  // trim the partially covered right edge
+        busy -= ends_[hi - 1] - w2;
+        if (is_meas_[hi - 1]) meas -= ends_[hi - 1] - w2;
+      }
+    }
+    SimTime counted = exclude_measurement ? busy - meas : busy;
+    double u = static_cast<double>(counted) / static_cast<double>(tau);
+    out.push_back(capacity_bps_ * (1.0 - u));
+  }
   return out;
+}
+
+void UtilizationMeter::reserve(std::size_t n) {
+  starts_.reserve(n);
+  ends_.reserve(n);
+  cum_busy_.reserve(n);
+  cum_meas_busy_.reserve(n);
+  is_meas_.reserve(n);
 }
 
 }  // namespace abw::sim

@@ -53,8 +53,16 @@ class UtilizationMeter {
   /// The A_tau(t) series: avail-bw over consecutive windows of length tau
   /// covering [t0, t0 + n*tau) where n = floor((t1 - t0) / tau).
   /// `exclude_measurement` computes the cross-traffic-only series.
+  /// One monotone sweep over the interval index — O(intervals + windows)
+  /// instead of a binary search per window — producing bit-identical
+  /// values to per-window avail_bw()/cross_avail_bw() calls (the Fig. 1/2
+  /// timescale sweeps issue thousands of these).
   std::vector<double> avail_bw_series(SimTime t0, SimTime t1, SimTime tau,
                                       bool exclude_measurement = false) const;
+
+  /// Pre-sizes interval storage for `n` coalesced intervals, so recording
+  /// stays allocation-free below that count (steady-state hot path).
+  void reserve(std::size_t n);
 
   /// Capacity this meter was constructed with (bits/s).
   double capacity_bps() const { return capacity_bps_; }

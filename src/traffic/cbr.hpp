@@ -17,6 +17,7 @@ class CbrGenerator final : public Generator {
  protected:
   sim::SimTime next_gap(stats::Rng& rng, sim::SimTime now) override;
   std::uint32_t next_size(stats::Rng& rng) override;
+  bool gap_is_time_invariant() const override { return true; }
 
  private:
   sim::SimTime gap_;

@@ -28,16 +28,50 @@ void Generator::start(sim::SimTime t0, sim::SimTime t1) {
 
 void Generator::arm_next() {
   sim::SimTime gap = next_gap(rng_, sim_.now());
-  sim::SimTime when = sim_.now() + gap;
+  schedule_emit(sim_.now() + gap);
+}
+
+void Generator::schedule_emit(sim::SimTime when) {
   if (when >= t1_) return;  // active window over
   sim_.at(when, [this] { emit(); });
 }
 
+// Pre-draws the next kBatchDraws (size, gap-to-next) pairs.  The draw
+// order — size_i, gap_{i+1}, size_{i+1}, gap_{i+2}, ... — is exactly the
+// order the unbatched path consumes the RNG in (emit() draws the packet
+// size, then arm_next() draws the following gap), so batching never
+// perturbs the generated packet stream.  Draws past the end of the
+// active window are discarded unused, which the unbatched path also does
+// for its final gap.
+void Generator::refill_pending() {
+  pending_.clear();
+  pending_head_ = 0;
+  for (std::size_t i = 0; i < kBatchDraws; ++i) {
+    PendingDraw d;
+    d.size = next_size(rng_);
+    d.gap_after = next_gap(rng_, sim_.now());
+    pending_.push_back(d);
+  }
+}
+
 void Generator::emit() {
+  std::uint32_t size;
+  sim::SimTime gap_after;
+  bool batched = gap_is_time_invariant();
+  if (batched) {
+    if (pending_head_ == pending_.size()) refill_pending();
+    size = pending_[pending_head_].size;
+    gap_after = pending_[pending_head_].gap_after;
+    ++pending_head_;
+  } else {
+    size = next_size(rng_);
+    gap_after = 0;  // drawn below, at the post-emit time it applies to
+  }
+
   sim::Packet pkt;
   pkt.id = sim_.next_packet_id();
   pkt.type = sim::PacketType::kCross;
-  pkt.size_bytes = next_size(rng_);
+  pkt.size_bytes = size;
   pkt.flow_id = flow_id_;
   pkt.seq = seq_++;
   pkt.exit_hop = one_hop_ ? static_cast<std::uint32_t>(entry_hop_) : sim::kEndToEnd;
@@ -45,7 +79,12 @@ void Generator::emit() {
   ++packets_sent_;
   bytes_sent_ += pkt.size_bytes;
   path_.inject(entry_hop_, pkt);
-  arm_next();
+
+  if (batched) {
+    schedule_emit(sim_.now() + gap_after);
+  } else {
+    arm_next();
+  }
 }
 
 double Generator::offered_rate() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/packet.hpp"
 #include "sim/path.hpp"
@@ -47,11 +48,33 @@ class Generator {
   /// Size of the next packet in bytes.
   virtual std::uint32_t next_size(stats::Rng& rng) = 0;
 
+  /// True when next_gap() ignores its `now` argument (CBR, Poisson,
+  /// Pareto-gap, Pareto-ON/OFF).  Such sources get their next
+  /// kBatchDraws (size, gap) pairs pre-drawn per wakeup, amortizing two
+  /// virtual calls per packet over a whole batch.  The draws happen in
+  /// exactly the per-packet order (size_i, gap_{i+1}, size_{i+1}, ...),
+  /// so the emitted packet stream is bit-identical to unbatched
+  /// operation.  Rate-modulated processes (fGn) must keep the default
+  /// `false`: their gap depends on the time it is drawn at.
+  virtual bool gap_is_time_invariant() const { return false; }
+
   stats::Rng& rng() { return rng_; }
 
  private:
+  /// Pre-drawn batch size for time-invariant arrival processes.
+  static constexpr std::size_t kBatchDraws = 16;
+
+  /// One pre-drawn arrival: the packet's size and the gap to the NEXT
+  /// arrival (mirroring the per-emit draw order of the unbatched path).
+  struct PendingDraw {
+    sim::SimTime gap_after;
+    std::uint32_t size;
+  };
+
   void arm_next();
   void emit();
+  void refill_pending();
+  void schedule_emit(sim::SimTime when);
 
   sim::Simulator& sim_;
   sim::Path& path_;
@@ -65,6 +88,9 @@ class Generator {
   std::uint32_t seq_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+
+  std::vector<PendingDraw> pending_;  // fixed kBatchDraws capacity ring
+  std::size_t pending_head_ = 0;
 };
 
 }  // namespace abw::traffic

@@ -1,0 +1,227 @@
+// Golden-output determinism tests: full paper-style scenarios whose entire
+// observable output (per-packet probe timestamps, link counters, meter
+// window queries, event counts) is hashed and compared against constants
+// captured from the pre-pooled-event-queue implementation (PR 2).
+//
+// These digests pin the bit-identical guarantee of the DES hot-path
+// rewrite: the slab-pooled scheduler, the self-driving link transmit loop
+// and the batched generator arrival pre-draws must reproduce the exact
+// event ordering, RNG draw sequence, and arithmetic of the original
+// per-closure implementation.  Any deviation — one reordered tie, one
+// extra RNG draw feeding a packet, one changed rounding — flips the hash.
+//
+// Regenerate (only when an intentional behavior change is made):
+//   ABW_GOLDEN_PRINT=1 ./golden_determinism_test
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "runner/batch.hpp"
+#include "probe/stream_spec.hpp"
+#include "sim/link.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/pareto_gaps.hpp"
+
+namespace {
+
+using namespace abw;
+
+/// FNV-1a over 64-bit words; doubles contribute their exact bit pattern.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ull;
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void f64(double d) { u64(std::bit_cast<std::uint64_t>(d)); }
+  void b(bool v) { u64(v ? 1 : 0); }
+};
+
+void digest_link(Digest& d, const sim::Link& link) {
+  const sim::LinkStats& s = link.stats();
+  d.u64(s.packets_in);
+  d.u64(s.packets_out);
+  d.u64(s.packets_dropped);
+  d.u64(s.packets_red_dropped);
+  d.u64(s.packets_lost);
+  d.u64(s.bytes_in);
+  d.u64(s.bytes_out);
+}
+
+/// Fig. 1-style run: probe a single-hop scenario with a rate sweep of
+/// periodic streams and fold every observable into one digest.
+std::uint64_t run_single_hop(core::CrossModel model) {
+  core::SingleHopConfig cfg;
+  cfg.model = model;
+  cfg.seed = 7;
+  auto sc = core::Scenario::single_hop(cfg);
+
+  Digest d;
+  for (int k = 0; k < 12; ++k) {
+    double rate = 10e6 + 3e6 * k;  // sweep across under- and overload
+    auto spec = probe::StreamSpec::periodic(rate, 1500, 60);
+    auto res = sc.session().send_stream(spec, sc.simulator().now() +
+                                                  sim::kMillisecond);
+    d.u64(res.stream_id);
+    for (const auto& p : res.packets) {
+      d.u64(p.seq);
+      d.u64(p.size_bytes);
+      d.u64(static_cast<std::uint64_t>(p.sent));
+      d.u64(static_cast<std::uint64_t>(p.received));
+      d.b(p.lost);
+    }
+    d.f64(res.output_rate_bps());
+    d.f64(res.rate_ratio());
+  }
+
+  const sim::Link& link = sc.path().link(0);
+  digest_link(d, link);
+  sim::SimTime t2 = sc.simulator().now();
+  d.u64(static_cast<std::uint64_t>(link.meter().busy_time(0, t2)));
+  d.u64(static_cast<std::uint64_t>(link.meter().measurement_busy_time(0, t2)));
+  d.f64(sc.ground_truth(sim::kSecond, t2));
+  for (double a : link.meter().avail_bw_series(0, t2, 50 * sim::kMillisecond,
+                                               /*exclude_measurement=*/true))
+    d.f64(a);
+  d.u64(link.meter().interval_count());
+  d.u64(sc.simulator().events_processed());
+  return d.h;
+}
+
+/// Fig. 4-style multi-hop run with one-hop-persistent cross traffic.
+std::uint64_t run_multi_hop() {
+  core::MultiHopConfig cfg;
+  cfg.seed = 11;
+  auto sc = core::Scenario::multi_hop(cfg);
+
+  Digest d;
+  for (int k = 0; k < 6; ++k) {
+    auto spec = probe::StreamSpec::periodic(15e6 + 4e6 * k, 1500, 50);
+    auto res = sc.session().send_stream(spec, sc.simulator().now() +
+                                                  sim::kMillisecond);
+    for (const auto& p : res.packets) {
+      d.u64(static_cast<std::uint64_t>(p.sent));
+      d.u64(static_cast<std::uint64_t>(p.received));
+      d.b(p.lost);
+    }
+    d.f64(res.output_rate_bps());
+  }
+  for (std::size_t h = 0; h < sc.path().hop_count(); ++h)
+    digest_link(d, sc.path().link(h));
+  sim::SimTime t2 = sc.simulator().now();
+  d.f64(sc.path().cross_avail_bw(sim::kSecond, t2));
+  d.u64(sc.path().tight_link(sim::kSecond, t2));
+  d.u64(sc.path().cross_sink().packets());
+  d.u64(sc.path().cross_sink().bytes());
+  d.u64(sc.simulator().events_processed());
+  return d.h;
+}
+
+/// Direct Pareto-gap generator run (not reachable through Scenario's
+/// CrossModel set) so every batchable arrival process is pinned.
+std::uint64_t run_pareto_gaps() {
+  sim::Simulator simu;
+  sim::LinkConfig lc;
+  lc.capacity_bps = 50e6;
+  lc.propagation_delay = sim::kMillisecond;
+  sim::Path path(simu, {lc});
+  sim::CountingSink sink;
+  path.set_receiver(&sink);
+  traffic::ParetoGapGenerator gen(simu, path, 0, false, 3, stats::Rng(21),
+                                  30e6, 1200, 1.6);
+  gen.start(0, 5 * sim::kSecond);
+  simu.run_until(6 * sim::kSecond);
+
+  Digest d;
+  d.u64(gen.packets_sent());
+  d.u64(gen.bytes_sent());
+  d.u64(sink.packets());
+  d.u64(sink.bytes());
+  digest_link(d, path.link(0));
+  d.u64(static_cast<std::uint64_t>(path.link(0).meter().busy_time(
+      0, 5 * sim::kSecond)));
+  d.u64(simu.events_processed());
+  return d.h;
+}
+
+// Digests captured from the pre-PR-2 (std::function heap, per-closure
+// link/generator) implementation; see file header for regeneration.
+constexpr std::uint64_t kGoldenCbr = 0x7b3a580e3bfe9d56ull;
+constexpr std::uint64_t kGoldenPoisson = 0xcb0a09e09da11eccull;
+constexpr std::uint64_t kGoldenParetoOnOff = 0x4c25048f590c8407ull;
+constexpr std::uint64_t kGoldenMultiHop = 0x192d95669f8bae90ull;
+constexpr std::uint64_t kGoldenParetoGaps = 0x21ae52ecde362251ull;
+
+bool print_mode() { return std::getenv("ABW_GOLDEN_PRINT") != nullptr; }
+
+void check(const char* name, std::uint64_t got, std::uint64_t want) {
+  if (print_mode()) {
+    std::printf("constexpr std::uint64_t kGolden%s = 0x%016llxull;\n", name,
+                static_cast<unsigned long long>(got));
+    return;
+  }
+  EXPECT_EQ(got, want) << name << " digest changed: the event-queue hot "
+                       << "path no longer reproduces the legacy output";
+}
+
+TEST(GoldenDeterminism, SingleHopCbr) {
+  check("Cbr", run_single_hop(core::CrossModel::kCbr), kGoldenCbr);
+}
+
+TEST(GoldenDeterminism, SingleHopPoisson) {
+  check("Poisson", run_single_hop(core::CrossModel::kPoisson), kGoldenPoisson);
+}
+
+TEST(GoldenDeterminism, SingleHopParetoOnOff) {
+  check("ParetoOnOff", run_single_hop(core::CrossModel::kParetoOnOff),
+        kGoldenParetoOnOff);
+}
+
+TEST(GoldenDeterminism, MultiHopPoisson) {
+  check("MultiHop", run_multi_hop(), kGoldenMultiHop);
+}
+
+TEST(GoldenDeterminism, ParetoGapSource) {
+  check("ParetoGaps", run_pareto_gaps(), kGoldenParetoGaps);
+}
+
+/// Running the same scenario twice in one process must give the same
+/// digest (no hidden global state in the pooled queue or batched draws).
+TEST(GoldenDeterminism, RepeatRunsAreIdentical) {
+  EXPECT_EQ(run_single_hop(core::CrossModel::kPoisson),
+            run_single_hop(core::CrossModel::kPoisson));
+}
+
+/// PR 1's determinism contract extends through the new hot path: the same
+/// scenarios run under the parallel BatchRunner must hit the same golden
+/// digests at every thread count (each task owns its Simulator, so the
+/// pooled per-scheduler state must have no cross-task leakage).
+TEST(GoldenDeterminism, BatchRunnerHitsGoldenDigestsAtEveryThreadCount) {
+  auto task = [](std::size_t i) {
+    switch (i) {
+      case 0: return run_single_hop(core::CrossModel::kCbr);
+      case 1: return run_single_hop(core::CrossModel::kPoisson);
+      case 2: return run_single_hop(core::CrossModel::kParetoOnOff);
+      case 3: return run_multi_hop();
+      default: return run_pareto_gaps();
+    }
+  };
+  const std::vector<std::uint64_t> want = {kGoldenCbr, kGoldenPoisson,
+                                           kGoldenParetoOnOff, kGoldenMultiHop,
+                                           kGoldenParetoGaps};
+  if (print_mode()) GTEST_SKIP() << "print mode: digests emitted above";
+  for (std::size_t jobs : {1u, 2u, 5u}) {
+    runner::BatchRunner batch(jobs);
+    EXPECT_EQ(batch.map(want.size(), task), want) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace

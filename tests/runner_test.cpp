@@ -17,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "runner/batch.hpp"
+#include "runner/cli.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace {

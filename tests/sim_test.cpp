@@ -13,6 +13,7 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "sim/util_meter.hpp"
+#include "stats/rng.hpp"
 
 namespace {
 
@@ -66,6 +67,18 @@ TEST(Scheduler, RejectsPast) {
 TEST(Scheduler, PopOnEmptyThrows) {
   Scheduler s;
   EXPECT_THROW(s.pop(), std::logic_error);
+}
+
+// next_time() on an empty queue used to read heap_.front() of an empty
+// vector (UB); it must throw like pop() does, and keep doing so after the
+// queue drains.
+TEST(Scheduler, NextTimeOnEmptyThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.next_time(), std::logic_error);
+  s.schedule(10, [] {});
+  EXPECT_EQ(s.next_time(), 10);
+  (void)s.pop();
+  EXPECT_THROW(s.next_time(), std::logic_error);
 }
 
 // Regression for the schedule-in-the-past contract: the documented
@@ -272,6 +285,67 @@ TEST(UtilizationMeter, WindowTrimmingMatchesBruteForceExhaustively) {
       double u = static_cast<double>(cross) / static_cast<double>(t2 - t1);
       EXPECT_DOUBLE_EQ(m.cross_avail_bw(t1, t2), 1e6 * (1.0 - u))
           << "cross_avail_bw window [" << t1 << ", " << t2 << ")";
+    }
+  }
+}
+
+// Randomized version of the exhaustive check above: hundreds of intervals
+// with random lengths/gaps/attribution, thousands of random windows.  The
+// fixed seed keeps it deterministic; the scale exercises prefix-sum
+// cancellation and two-pointer paths far beyond the hand-built cases.
+TEST(UtilizationMeter, RandomizedQueriesMatchBruteForceReference) {
+  abw::stats::Rng rng(0xab5eed);
+  UtilizationMeter m(1e8);
+  std::vector<RefInterval> iv;
+  SimTime t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 1 + static_cast<SimTime>(rng.uniform(0.0, 300.0));
+    SimTime len = 1 + static_cast<SimTime>(rng.uniform(0.0, 200.0));
+    bool meas = rng.bernoulli(0.3);
+    m.add_busy(t, t + len, meas);
+    iv.push_back({t, t + len, meas});
+    t += len;
+  }
+  const double horizon = static_cast<double>(t);
+  for (int q = 0; q < 3000; ++q) {
+    SimTime t1 = static_cast<SimTime>(rng.uniform(0.0, horizon));
+    SimTime t2 = t1 + 1 + static_cast<SimTime>(rng.uniform(0.0, horizon / 4));
+    SimTime busy = ref_busy(iv, t1, t2, false);
+    SimTime meas = ref_busy(iv, t1, t2, true);
+    ASSERT_EQ(m.busy_time(t1, t2), busy)
+        << "busy_time window [" << t1 << ", " << t2 << ")";
+    ASSERT_EQ(m.measurement_busy_time(t1, t2), meas)
+        << "measurement_busy_time window [" << t1 << ", " << t2 << ")";
+    double span = static_cast<double>(t2 - t1);
+    double cross_u = static_cast<double>(busy - meas) / span;
+    ASSERT_DOUBLE_EQ(m.cross_avail_bw(t1, t2), 1e8 * (1.0 - cross_u))
+        << "cross_avail_bw window [" << t1 << ", " << t2 << ")";
+  }
+}
+
+// The monotone two-pointer series sweep must produce bit-identical doubles
+// to issuing one prefix-sum query per window (which the randomized test
+// above ties to the brute-force reference).
+TEST(UtilizationMeter, SeriesSweepMatchesPerWindowQueries) {
+  abw::stats::Rng rng(0x5e71e5);
+  UtilizationMeter m(1e8);
+  SimTime t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += 1 + static_cast<SimTime>(rng.uniform(0.0, 300.0));
+    SimTime len = 1 + static_cast<SimTime>(rng.uniform(0.0, 200.0));
+    m.add_busy(t, t + len, rng.bernoulli(0.3));
+    t += len;
+  }
+  for (SimTime tau : {37, 250, 4001}) {
+    for (bool cross : {false, true}) {
+      auto series = m.avail_bw_series(0, t, tau, cross);
+      ASSERT_EQ(series.size(), static_cast<std::size_t>(t / tau));
+      for (std::size_t k = 0; k < series.size(); ++k) {
+        SimTime w1 = static_cast<SimTime>(k) * tau, w2 = w1 + tau;
+        double expect = cross ? m.cross_avail_bw(w1, w2) : m.avail_bw(w1, w2);
+        ASSERT_DOUBLE_EQ(series[k], expect)
+            << "tau=" << tau << " cross=" << cross << " window " << k;
+      }
     }
   }
 }
