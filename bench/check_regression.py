@@ -13,6 +13,11 @@ or via the `bench_check` CMake target.  Baselines are machine-specific:
 refresh the committed file (copy a run's BENCH_core.json over it) whenever
 the reference machine or an intentional perf trade-off changes.
 
+A missing baseline FILE is a warning, not an error (exit 0), so a new
+bench JSON can land one commit before its committed baseline; pass
+--require-baseline to restore the strict behavior.  Likewise a benchmark
+name present only in the current run is reported as "(new)" and skipped.
+
 Exit codes: 0 ok, 1 regression, 2 usage/file error.
 """
 
@@ -22,12 +27,17 @@ import sys
 from pathlib import Path
 
 
-def load_throughputs(path):
+def load_throughputs(path, missing_ok=False):
     """Map benchmark name -> items_per_second (falls back to 1/real_time).
 
     Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
     skipped except the median, which then replaces the raw-run rows.
+
+    With missing_ok, a nonexistent file returns None instead of exiting
+    (corrupt JSON is still fatal — that is never intentional).
     """
+    if missing_ok and not Path(path).exists():
+        return None
     try:
         with open(path) as f:
             data = json.load(f)
@@ -64,11 +74,19 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.80,
                     help="fail when current < threshold * baseline "
                          "(default 0.80; noisy shared machines need slack)")
+    ap.add_argument("--require-baseline", action="store_true",
+                    help="fail (exit 2) when the baseline file is absent "
+                         "instead of warning and skipping the gate")
     args = ap.parse_args()
     if not 0 < args.threshold <= 1.5:
         sys.exit("check_regression: --threshold out of range")
 
-    base = load_throughputs(args.baseline)
+    base = load_throughputs(args.baseline,
+                            missing_ok=not args.require_baseline)
+    if base is None:
+        print(f"check_regression: WARNING: baseline {args.baseline} not "
+              "found; skipping the gate (commit a baseline to enable it)")
+        return 0
     cur = load_throughputs(args.current)
 
     failures = []

@@ -18,19 +18,30 @@
 // seed (pre-PR) kernel — the `if constexpr (requires ...)` guards skip
 // introspection the seed does not have — which is how the committed
 // baseline's `seed` numbers were produced.
+// In addition to the google-benchmark suite, main() runs the fig1/fig3
+// hybrid-vs-packet comparison workloads and writes BENCH_fluid.json
+// (same JSON shape, items_per_second = wall-clock speedup), gated by
+// bench/BENCH_fluid.baseline.json through the same check_regression.py.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "probe/stream_spec.hpp"
+#include "runner/bench_report.hpp"
+#include "sim/hybrid.hpp"
 #include "sim/link.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
+#include "trace/synthetic_trace.hpp"
 #include "traffic/poisson.hpp"
+#include "traffic/trace_replay.hpp"
 
 namespace {
 
@@ -206,6 +217,167 @@ void BM_ProbeStreamRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeStreamRoundTrip);
 
+// ------------------------------------------------ hybrid fluid bench -----
+
+// One hybrid-vs-packet comparison: wall seconds and the measured ground
+// truth for each mode.
+struct FluidRun {
+  double seconds = 0.0;
+  double abw = 0.0;
+};
+
+// Fig. 1 workload: replay the synthetic NLANR-substitute trace through an
+// OC-3 tight link and record its ground-truth avail-bw series A_tau(t) —
+// the population every sampling experiment draws from, produced exactly
+// as the paper does it: a fixed recorded workload, not a live random
+// process.  The trace is synthesized ONCE (outside both timed runs; the
+// fGn synthesis cost is identical in either mode) and replayed through a
+// traffic::TraceGenerator, so the timed region is pure simulation: one
+// event per packet in packet mode, chunked fluid absorption in hybrid
+// mode.  No probes — this isolates the cross-traffic fast path.
+FluidRun run_fig1_workload(sim::SimMode mode,
+                           std::vector<traffic::ReplayRecord> recs) {
+  // By-value records: the caller's copy of the ~700k-record trace is made
+  // at argument binding, OUTSIDE the timed region (it is the same cost in
+  // either mode and not what this bench measures).
+  constexpr sim::SimTime kEnd = 120 * sim::kSecond;
+  FluidRun r;
+  double t0 = runner::monotonic_seconds();
+  sim::LinkConfig link;
+  link.capacity_bps = 155.52e6;  // OC-3, as in the paper's trace
+  link.propagation_delay = sim::kMillisecond;
+  auto sc = core::Scenario::custom({link}, /*seed=*/1);
+  sc.add_cross_source(
+      std::make_unique<traffic::TraceGenerator>(sc.simulator(), sc.path(), 0,
+                                                /*one_hop=*/false,
+                                                /*flow_id=*/1000,
+                                                std::move(recs)),
+      0, /*one_hop=*/false, /*flow_id=*/1000, mode, kEnd + sim::kSecond);
+  sc.simulator().run_until(kEnd);
+  auto series = core::ground_truth_series(sc, sim::kSecond, kEnd,
+                                          100 * sim::kMillisecond);
+  benchmark::DoNotOptimize(series.data());
+  r.abw = sc.ground_truth(sim::kSecond, kEnd);
+  r.seconds = runner::monotonic_seconds() - t0;
+  return r;
+}
+
+std::vector<traffic::ReplayRecord> make_fig1_trace() {
+  trace::SyntheticTraceConfig tc;
+  tc.duration = 121 * sim::kSecond;
+  stats::Rng rng(42);
+  trace::PacketTrace pt = trace::synthesize_selfsimilar_trace(tc, rng);
+  std::vector<traffic::ReplayRecord> recs;
+  recs.reserve(pt.size());
+  for (const auto& rec : pt.records()) recs.push_back({rec.at, rec.size_bytes});
+  return recs;
+}
+
+// Fig. 3 workload: an Ro/Ri response curve against a high-pps CBR
+// aggregate (small packets, the paper's fluid-like burstiness baseline),
+// probed with pathload-like epoch pacing: one 100-packet stream, then ~3 s
+// of idle while the tool computes and queues drain (the paper stresses
+// that tools spend most wall-clock time between streams).  Probe/cross
+// interaction runs discrete in both modes; the fluid fast path covers the
+// idle epochs, which dominate simulated time.
+FluidRun run_fig3_workload(sim::SimMode mode) {
+  FluidRun r;
+  double t0 = runner::monotonic_seconds();
+  core::SingleHopConfig cfg;
+  cfg.mode = mode;
+  cfg.model = core::CrossModel::kCbr;
+  cfg.cross_packet_size = 250;  // 25 Mb/s -> 12500 pps
+  cfg.traffic_horizon = 110 * sim::kSecond;
+  auto sc = core::Scenario::single_hop(cfg);
+  core::RatioCurveConfig rc;
+  rc.rates_bps = {10e6, 15e6, 20e6, 25e6, 30e6, 35e6, 40e6, 45e6};
+  rc.streams_per_rate = 4;
+  rc.packets_per_stream = 100;
+  rc.inter_stream_gap = 3 * sim::kSecond;
+  auto curve = core::measure_ratio_curve(sc, rc);
+  benchmark::DoNotOptimize(curve.data());
+  r.abw = sc.ground_truth(2 * sim::kSecond, sc.simulator().now());
+  r.seconds = runner::monotonic_seconds() - t0;
+  return r;
+}
+
+// Min-of-N wall time: each workload x mode runs kReps times and the
+// fastest run is reported, the standard remedy for the +-30% scheduler
+// noise of a small shared VM.  Both modes get the identical treatment, so
+// the reported speedup is a noise-floor ratio, not a lucky draw.  The
+// avail-bw values are deterministic across repetitions (asserted).
+template <typename Fn>
+FluidRun min_of_reps(Fn&& run) {
+  constexpr int kReps = 3;
+  FluidRun best = run();
+  for (int i = 1; i < kReps; ++i) {
+    FluidRun r = run();
+    if (r.abw != best.abw)
+      std::fprintf(stderr, "micro_sim: WARNING: nondeterministic avail-bw "
+                           "across repetitions (%.1f vs %.1f)\n",
+                   r.abw, best.abw);
+    if (r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+// Runs both workloads in both modes and writes BENCH_fluid.json
+// (google-benchmark JSON shape; items_per_second carries the speedup so
+// check_regression.py gates it unchanged).
+void run_fluid_comparison() {
+  struct Row {
+    const char* name;
+    FluidRun packet, hybrid;
+  };
+  const auto trace = make_fig1_trace();
+  Row rows[] = {
+      {"FLUID_fig1_ground_truth",
+       min_of_reps([&] { return run_fig1_workload(sim::SimMode::kPacket, trace); }),
+       min_of_reps([&] { return run_fig1_workload(sim::SimMode::kHybrid, trace); })},
+      {"FLUID_fig3_response_curve",
+       min_of_reps([] { return run_fig3_workload(sim::SimMode::kPacket); }),
+       min_of_reps([] { return run_fig3_workload(sim::SimMode::kHybrid); })},
+  };
+  std::FILE* f = std::fopen("BENCH_fluid.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_sim: cannot write BENCH_fluid.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"context\": {\"note\": "
+                  "\"items_per_second = packet_s / hybrid_s (wall-clock "
+                  "speedup); abw_rel_err = |hybrid - packet| / packet\"},\n"
+                  "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Row& row = rows[i];
+    double speedup = row.packet.seconds / row.hybrid.seconds;
+    double rel_err = std::fabs(row.hybrid.abw - row.packet.abw) /
+                     row.packet.abw;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+        "\"iterations\": 1, \"real_time\": %.6e, \"cpu_time\": %.6e, "
+        "\"time_unit\": \"ns\", \"items_per_second\": %.4f, "
+        "\"packet_s\": %.6f, \"hybrid_s\": %.6f, "
+        "\"abw_packet_bps\": %.1f, \"abw_hybrid_bps\": %.1f, "
+        "\"abw_rel_err\": %.6f}%s\n",
+        row.name, row.hybrid.seconds * 1e9, row.hybrid.seconds * 1e9,
+        speedup, row.packet.seconds, row.hybrid.seconds, row.packet.abw,
+        row.hybrid.abw, rel_err, i + 1 < 2 ? "," : "");
+    std::printf("%-28s packet %8.3f s  hybrid %8.3f s  speedup %6.2fx  "
+                "abw err %.4f%%\n",
+                row.name, row.packet.seconds, row.hybrid.seconds, speedup,
+                rel_err * 100.0);
+    if (speedup < 5.0)
+      std::fprintf(stderr, "micro_sim: WARNING: %s speedup %.2fx below the "
+                           "5x target\n", row.name, speedup);
+    if (rel_err > 0.05)
+      std::fprintf(stderr, "micro_sim: WARNING: %s avail-bw diverges %.2f%% "
+                           "from packet mode\n", row.name, rel_err * 100.0);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 // Custom main: unless the caller already passed --benchmark_out, default
@@ -228,5 +400,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  run_fluid_comparison();
   return 0;
 }

@@ -138,4 +138,13 @@ probe::StreamResult capture_stream(Scenario& sc, double rate_bps,
   return sc.session().send_stream_now(spec);
 }
 
+std::vector<double> ground_truth_series(Scenario& sc, sim::SimTime t0,
+                                        sim::SimTime t1, sim::SimTime tau) {
+  sim::Path& path = sc.path();
+  path.sync_hybrid(t1);  // no-op in packet mode
+  std::size_t tight = path.tight_link(t0, t1);
+  return path.link(tight).meter().avail_bw_series(t0, t1, tau,
+                                                  /*exclude_measurement=*/true);
+}
+
 }  // namespace abw::core

@@ -91,4 +91,12 @@ probe::StreamResult capture_stream(Scenario& sc, double rate_bps,
                                    std::uint32_t packet_size,
                                    std::size_t packet_count);
 
+/// Ground-truth A_tau(t) series of the tight link over [t0, t1),
+/// excluding measurement traffic — works in both simulation modes (in
+/// hybrid mode it first syncs the fluid accounting through t1, which is
+/// what makes meter-based ground truth the mode-independent source; the
+/// Fig. 1 bench reads it instead of a per-packet trace).
+std::vector<double> ground_truth_series(Scenario& sc, sim::SimTime t0,
+                                        sim::SimTime t1, sim::SimTime tau);
+
 }  // namespace abw::core

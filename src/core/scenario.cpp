@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "traffic/cbr.hpp"
+#include "traffic/fgn_rate.hpp"
 #include "traffic/pareto_onoff.hpp"
 #include "traffic/poisson.hpp"
 
@@ -13,6 +14,7 @@ const char* to_string(CrossModel m) {
     case CrossModel::kCbr: return "CBR";
     case CrossModel::kPoisson: return "Poisson";
     case CrossModel::kParetoOnOff: return "Pareto ON-OFF";
+    case CrossModel::kFgn: return "fGn-modulated";
   }
   return "?";
 }
@@ -48,6 +50,16 @@ std::unique_ptr<traffic::Generator> make_generator(
       return std::make_unique<traffic::ParetoOnOffGenerator>(
           sim, path, hop, one_hop, flow_id, std::move(rng), oc);
     }
+    case CrossModel::kFgn: {
+      // The NLANR-substitute self-similar workload (DESIGN.md) as a live
+      // scenario: Poisson arrivals whose intensity is modulated every
+      // millisecond by a fractional Gaussian noise series.
+      traffic::FgnRateConfig fc;
+      fc.mean_rate_bps = rate_bps;
+      fc.packet_size = packet_size;
+      return std::make_unique<traffic::FgnRateGenerator>(
+          sim, path, hop, one_hop, flow_id, std::move(rng), fc);
+    }
   }
   throw std::logic_error("make_generator: unknown model");
 }
@@ -68,11 +80,19 @@ Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
   sc.path_ = std::make_unique<sim::Path>(*sc.sim_, std::vector<sim::LinkConfig>{link});
 
   if (cfg.cross_rate_bps > 0.0) {
-    sc.generators_.push_back(make_generator(
+    auto gen = make_generator(
         *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
         sc.rng_->fork(), cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
-        cfg.trimodal_cross_sizes, cfg.onoff_peak_rate_bps, cfg.capacity_bps));
-    sc.generators_.back()->start(0, cfg.traffic_horizon);
+        cfg.trimodal_cross_sizes, cfg.onoff_peak_rate_bps, cfg.capacity_bps);
+    if (cfg.mode == sim::SimMode::kHybrid) {
+      sc.hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
+          *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
+          std::move(gen)));
+      sc.hybrid_sources_.back()->start(0, cfg.traffic_horizon);
+    } else {
+      sc.generators_.push_back(std::move(gen));
+      sc.generators_.back()->start(0, cfg.traffic_horizon);
+    }
   }
 
   sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
@@ -101,11 +121,19 @@ Scenario Scenario::multi_hop(const MultiHopConfig& cfg) {
   for (std::size_t hop : cfg.loaded_hops) {
     if (hop >= cfg.hop_count)
       throw std::invalid_argument("Scenario: loaded hop out of range");
-    sc.generators_.push_back(make_generator(
-        *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id++, sc.rng_->fork(),
+    auto gen = make_generator(
+        *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id, sc.rng_->fork(),
         cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
-        /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps));
-    sc.generators_.back()->start(0, cfg.traffic_horizon);
+        /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps);
+    if (cfg.mode == sim::SimMode::kHybrid) {
+      sc.hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
+          *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id, std::move(gen)));
+      sc.hybrid_sources_.back()->start(0, cfg.traffic_horizon);
+    } else {
+      sc.generators_.push_back(std::move(gen));
+      sc.generators_.back()->start(0, cfg.traffic_horizon);
+    }
+    ++flow_id;
   }
 
   sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
@@ -113,6 +141,22 @@ Scenario Scenario::multi_hop(const MultiHopConfig& cfg) {
   sc.traffic_until_ = cfg.traffic_horizon;
   sc.sim_->run_until(cfg.warmup);
   return sc;
+}
+
+void Scenario::add_cross_source(std::unique_ptr<traffic::Generator> gen,
+                                std::size_t entry_hop, bool one_hop,
+                                std::uint32_t flow_id, sim::SimMode mode,
+                                sim::SimTime horizon) {
+  sim::SimTime t0 = sim_->now();
+  if (mode == sim::SimMode::kHybrid) {
+    hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
+        *sim_, *path_, entry_hop, one_hop, flow_id, std::move(gen)));
+    hybrid_sources_.back()->start(t0, horizon);
+  } else {
+    generators_.push_back(std::move(gen));
+    generators_.back()->start(t0, horizon);
+  }
+  if (horizon > traffic_until_) traffic_until_ = horizon;
 }
 
 Scenario Scenario::custom(const std::vector<sim::LinkConfig>& links,

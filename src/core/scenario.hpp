@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "probe/session.hpp"
+#include "sim/hybrid.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/generator.hpp"
+#include "traffic/hybrid_source.hpp"
 #include "traffic/packet_size.hpp"
 
 namespace abw::core {
@@ -27,6 +29,7 @@ enum class CrossModel {
   kCbr,          ///< periodic: the fluid-like baseline
   kPoisson,      ///< exponential interarrivals
   kParetoOnOff,  ///< heavy-tailed bursts (shape 1.5, ON 1-10 packets)
+  kFgn,          ///< self-similar: fGn-rate-modulated Poisson (Fig. 1 trace)
 };
 
 const char* to_string(CrossModel m);
@@ -36,6 +39,9 @@ const char* to_string(CrossModel m);
 struct SingleHopConfig {
   double capacity_bps = 50e6;
   double cross_rate_bps = 25e6;
+  /// kHybrid advances the cross traffic as a fluid between probe streams
+  /// (see sim/hybrid.hpp); kPacket is the bit-exact event-driven baseline.
+  sim::SimMode mode = sim::SimMode::kPacket;
   CrossModel model = CrossModel::kPoisson;
   std::uint32_t cross_packet_size = 1500;
   bool trimodal_cross_sizes = false;  ///< Poisson only: 40/576/1500 mix
@@ -56,6 +62,9 @@ struct MultiHopConfig {
   std::vector<std::size_t> loaded_hops = {0, 2, 4};
   double capacity_bps = 50e6;
   double cross_rate_bps = 25e6;
+  /// See SingleHopConfig::mode.  Each loaded hop carries exactly one
+  /// one-hop source, so the whole topology fits the hybrid envelope.
+  sim::SimMode mode = sim::SimMode::kPacket;
   CrossModel model = CrossModel::kPoisson;
   std::uint32_t cross_packet_size = 1500;
   sim::SimTime propagation_delay = 1 * sim::kMillisecond;
@@ -82,6 +91,19 @@ class Scenario {
                          std::uint64_t seed);
 
   Scenario(Scenario&&) = default;
+
+  /// Attaches a caller-built generator (e.g. a traffic::TraceGenerator
+  /// replaying a recorded workload) as cross traffic on `entry_hop`,
+  /// active over [now, horizon).  In kHybrid mode the generator is
+  /// wrapped in a HybridCrossSource, exactly as the factory topologies
+  /// do; the hybrid validity envelope (one fluid source per link)
+  /// is the caller's responsibility.  The generator must have been
+  /// constructed against this scenario's simulator() and path() and not
+  /// yet started.
+  void add_cross_source(std::unique_ptr<traffic::Generator> gen,
+                        std::size_t entry_hop, bool one_hop,
+                        std::uint32_t flow_id, sim::SimMode mode,
+                        sim::SimTime horizon);
 
   sim::Simulator& simulator() { return *sim_; }
   sim::Path& path() { return *path_; }
@@ -113,6 +135,8 @@ class Scenario {
   std::unique_ptr<stats::Rng> rng_;
   std::unique_ptr<sim::Path> path_;
   std::vector<std::unique_ptr<traffic::Generator>> generators_;
+  // Hybrid-mode sources (own their generators); destroyed before path_.
+  std::vector<std::unique_ptr<traffic::HybridCrossSource>> hybrid_sources_;
   std::unique_ptr<probe::ProbeSession> session_;
   double nominal_avail_bw_ = 0.0;
   sim::SimTime traffic_until_ = 0;

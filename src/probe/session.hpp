@@ -75,6 +75,13 @@ class ProbeSession {
   /// Maximum time to wait for in-flight packets after the last send.
   void set_drain_timeout(sim::SimTime t) { drain_timeout_ = t; }
 
+  /// Hybrid mode: lead time by which each stream's packet window opens
+  /// before its first probe, so the cross traffic is discrete (and any
+  /// backlog materialized) well before the probe can interact with it.
+  /// The default comfortably exceeds per-link backlog drain times at the
+  /// paper's utilizations.
+  void set_hybrid_guard(sim::SimTime t) { hybrid_guard_ = t; }
+
   /// The simulation kernel and path this session probes (estimators that
   /// drive their own workloads, e.g. BFind, need them).
   sim::Simulator& simulator() { return sim_; }
@@ -92,6 +99,7 @@ class ProbeSession {
   sim::TypeDemux demux_;
   sim::CountingSink probe_sink_;
   sim::SimTime drain_timeout_ = 2 * sim::kSecond;
+  sim::SimTime hybrid_guard_ = 2 * sim::kMillisecond;
   ReceiverClock clock_;
   stats::Rng clock_rng_{0xC10CC10C};  ///< timestamping-jitter stream
 

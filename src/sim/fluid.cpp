@@ -1,0 +1,224 @@
+#include "sim/fluid.hpp"
+
+#include <stdexcept>
+
+#include "sim/link.hpp"
+
+namespace abw::sim {
+
+FluidQueue::FluidQueue(Link& link) : link_(link) {}
+
+void FluidQueue::reset(SimTime now) {
+  if (head_ != q_.size() || link_.transmitting_ || !link_.queue_.empty())
+    throw std::logic_error("FluidQueue::reset: link not idle");
+  q_.clear();
+  head_ = 0;
+  free_at_ = now;
+  emitted_until_ = now;
+  backlog_bytes_ = 0;
+}
+
+void FluidQueue::pop_departures(SimTime t) {
+  LinkStats& st = link_.stats_;
+  while (head_ < q_.size() && q_[head_].dep <= t) {
+    const InFlight& f = q_[head_];
+    ++st.packets_out;
+    st.bytes_out += f.size;
+    backlog_bytes_ -= f.size;
+    ++head_;
+  }
+  if (head_ == q_.size() && head_ != 0) {
+    q_.clear();
+    head_ = 0;
+  }
+}
+
+void FluidQueue::emit_busy(SimTime upto) {
+  SimTime e = upto < free_at_ ? upto : free_at_;
+  if (e > emitted_until_) {
+    link_.meter_.add_busy(emitted_until_, e, /*measurement=*/false);
+    emitted_until_ = e;
+  }
+}
+
+SimTime FluidQueue::tx_time(std::uint32_t bytes) {
+  // Serialization-time memo, same idea as Link's single-entry one but
+  // sized for the trimodal packet mixes the workloads use: generators
+  // draw from a handful of distinct sizes, so a 4-entry linear scan
+  // replaces the double divide in transmission_time() almost always.
+  for (std::size_t i = 0; i < tx_memo_used_; ++i)
+    if (tx_memo_[i].bytes == bytes) return tx_memo_[i].tx;
+  SimTime tx = transmission_time(bytes, link_.cfg_.capacity_bps);
+  std::size_t slot = tx_memo_used_ < tx_memo_.size()
+                         ? tx_memo_used_++
+                         : tx_memo_evict_++ % tx_memo_.size();
+  tx_memo_[slot] = {bytes, tx};
+  return tx;
+}
+
+void FluidQueue::absorb(const SimTime* times, const std::uint32_t* sizes,
+                        std::size_t n, SimTime record_until) {
+  LinkStats& st = link_.stats_;
+  const std::uint64_t limit = link_.cfg_.queue_limit_bytes;
+  const bool tapped = static_cast<bool>(link_.tap_);
+  // Counter deltas accumulate in locals and flush once: the meter
+  // push_back in the loop writes through a pointer the compiler cannot
+  // prove distinct from the stats block, which would otherwise force a
+  // reload/store of every counter per retired run.
+  std::uint64_t d_pkts_in = 0, d_bytes_in = 0;
+  std::uint64_t d_pkts_out = 0, d_bytes_out = 0, d_dropped = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    SimTime t = times[i];
+    if (head_ != q_.size()) pop_departures(t);
+    if (head_ == q_.size() && t >= free_at_) {
+      // Whole-run retirement: an idle, empty server at t starts a fresh
+      // busy run — scan forward while each arrival lands before the
+      // accumulated departure frontier (the exact FIFO run boundary).  If
+      // the run completes before the recording horizon and its total
+      // bytes bound the backlog below the drop threshold, nothing can
+      // ever observe any of its packets in flight: record the run as one
+      // meter interval and batch the counters, with no queue traffic at
+      // all.  This is the common case for every workload below saturation
+      // and the reason hybrid mode's per-arrival cost is dominated by the
+      // generator draw, not the queue integration.  Retired runs chain:
+      // after one retires, the next arrival stopped the scan with
+      // times[j] >= run_free == free_at_, so it provably starts another
+      // run on an empty queue and none of the outer-loop checks (or the
+      // then-no-op emit_busy) need repeating.
+      emit_busy(record_until);  // close the previous run (ends <= t)
+      for (;;) {
+        SimTime run_free = t;
+        std::uint64_t run_bytes = 0;
+        std::size_t j = i;
+        bool fits = true;
+        while (j < n && (j == i || times[j] < run_free)) {
+          if (run_bytes + sizes[j] > limit) {
+            fits = false;  // a drop is possible: take the exact path
+            break;
+          }
+          run_bytes += sizes[j];
+          run_free = (times[j] > run_free ? times[j] : run_free) +
+                     tx_time(sizes[j]);
+          ++j;
+        }
+        if (!fits || run_free > record_until) break;
+        // Run straddling the horizon or able to drop breaks to the
+        // per-packet path for arrival i (the queue then carries the
+        // run's tail exactly).
+        if (tapped) {
+          for (std::size_t k = i; k < j; ++k) {
+            Packet pkt;
+            pkt.type = PacketType::kCross;
+            pkt.size_bytes = sizes[k];
+            pkt.flow_id = flow_id_;
+            pkt.exit_hop = exit_hop_;
+            pkt.send_time = times[k];
+            link_.tap_(pkt, times[k]);
+          }
+        }
+        const std::uint64_t cnt = j - i;
+        d_pkts_in += cnt;
+        d_bytes_in += run_bytes;
+        d_pkts_out += cnt;
+        d_bytes_out += run_bytes;
+        link_.meter_.add_busy(t, run_free, /*measurement=*/false);
+        emitted_until_ = run_free;
+        free_at_ = run_free;
+        i = j;
+        if (i == n) break;
+        t = times[i];
+      }
+      if (i == n) break;
+    }
+    const std::uint32_t s = sizes[i];
+    ++d_pkts_in;
+    d_bytes_in += s;
+    if (tapped) {
+      Packet pkt;
+      pkt.type = PacketType::kCross;
+      pkt.size_bytes = s;
+      pkt.flow_id = flow_id_;
+      pkt.exit_hop = exit_hop_;
+      pkt.send_time = t;
+      link_.tap_(pkt, t);
+    }
+    if (backlog_bytes_ + s > limit) {  // same drop-tail test as Link::handle
+      ++d_dropped;
+      ++i;
+      continue;
+    }
+    if (t >= free_at_) {
+      // Server idle at this arrival: the pending busy run ends at
+      // free_at_ <= t <= record_until, so it is emitted in full before
+      // the idle gap is skipped.  Mid-run arrivals emit nothing — the
+      // open run is recorded once, at the next gap or advance(), and
+      // add_busy coalescing makes the meter contents identical.
+      emit_busy(record_until);
+      if (t > emitted_until_) emitted_until_ = t;
+      free_at_ = t + tx_time(s);
+    } else {
+      free_at_ += tx_time(s);
+    }
+    backlog_bytes_ += s;
+    q_.push_back({free_at_, s});
+    ++i;
+  }
+  st.packets_in += d_pkts_in;
+  st.bytes_in += d_bytes_in;
+  st.packets_out += d_pkts_out;
+  st.bytes_out += d_bytes_out;
+  st.packets_dropped += d_dropped;
+}
+
+void FluidQueue::advance(SimTime t) {
+  pop_departures(t);
+  emit_busy(t);
+}
+
+void FluidQueue::to_discrete(SimTime now) {
+  advance(now);
+  if (head_ == q_.size()) return;
+  if (link_.transmitting_)
+    throw std::logic_error("FluidQueue::to_discrete: link already transmitting");
+
+  // The head is in service at `now`: its start max(t, prev free_at) <= now
+  // (only arrivals <= now are absorbed and its predecessor departed), and
+  // advance(now) popped everything with dep <= now.
+  InFlight head = q_[head_++];
+
+  Packet pkt;
+  pkt.id = link_.sim_.next_packet_id();
+  pkt.type = PacketType::kCross;
+  pkt.size_bytes = head.size;
+  pkt.flow_id = flow_id_;
+  pkt.exit_hop = exit_hop_;
+  pkt.send_time = now;
+
+  link_.transmitting_ = true;
+  link_.tx_pkt_ = pkt;
+  link_.queued_bytes_ = backlog_bytes_;
+  // The run up to `now` is already in the meter; the in-service remainder
+  // [now, dep) coalesces with it into the exact interval a single DES
+  // add_busy at service start would have produced.
+  link_.meter_.add_busy(now, head.dep, /*measurement=*/false);
+  Link* l = &link_;
+  link_.sim_.at(head.dep, [l] { l->finish_transmission(); });
+
+  while (head_ < q_.size()) {
+    InFlight f = q_[head_++];
+    Packet qp;
+    qp.id = link_.sim_.next_packet_id();
+    qp.type = PacketType::kCross;
+    qp.size_bytes = f.size;
+    qp.flow_id = flow_id_;
+    qp.exit_hop = exit_hop_;
+    qp.send_time = now;
+    link_.queue_.push_back(qp);
+  }
+  q_.clear();
+  head_ = 0;
+  backlog_bytes_ = 0;
+}
+
+}  // namespace abw::sim

@@ -1,0 +1,13 @@
+#include "sim/hybrid.hpp"
+
+namespace abw::sim {
+
+const char* to_string(SimMode m) {
+  switch (m) {
+    case SimMode::kPacket: return "packet";
+    case SimMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+}  // namespace abw::sim

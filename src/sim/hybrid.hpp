@@ -1,0 +1,52 @@
+// Hybrid fluid/packet simulation mode.
+//
+// Every figure in the paper needs long runs where cross-traffic packets
+// outnumber probe packets by 100-1000x, yet only the cross traffic that
+// shares a queue with an in-flight probe ever affects a measurement.  In
+// hybrid mode a link whose cross traffic is currently "fluid" advances as
+// a piecewise-constant rate process — the FIFO queue dynamics are
+// integrated analytically from the same pre-drawn (time, size) arrival
+// stream the packet mode would use, with zero scheduled events — and is
+// converted back into discrete packets whenever a probe (or any other
+// discrete packet) enters the link's collision horizon.  Packet mode is
+// bit-identical to a build without hybrid support.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// How a scenario advances its cross traffic.
+enum class SimMode {
+  kPacket,  ///< every cross packet is a scheduled event (bit-exact baseline)
+  kHybrid,  ///< fluid fast path between probe collision windows
+};
+
+const char* to_string(SimMode m);
+
+/// A cross-traffic source that can switch between fluid and packet
+/// operation.  Implemented by traffic::HybridCrossSource; the Path keeps a
+/// list of attached agents so ground-truth queries and probing sessions
+/// can drive the switching without a sim->traffic layer dependency.
+class HybridAgent {
+ public:
+  virtual ~HybridAgent() = default;
+
+  /// Brings the fluid accounting (utilization meter, link stats, backlog)
+  /// up to date through time `t` (<= now).  No-op while in a packet
+  /// window — the DES is authoritative there.
+  virtual void sync(SimTime t) = 0;
+
+  /// Opens a packet window: from `start` (clamped to now) the source
+  /// materializes its arrivals as discrete packets, so probe/cross
+  /// interactions are packet-accurate.  The window stays open until
+  /// close_window().
+  virtual void open_window(SimTime start) = 0;
+
+  /// Marks the window closed; the source returns to fluid operation at the
+  /// first arrival that finds the link idle again (never mid-backlog, so
+  /// utilization accounting stays exact and in time order).
+  virtual void close_window() = 0;
+};
+
+}  // namespace abw::sim

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fluid.hpp"
+
 namespace abw::sim {
 
 Link::Link(Simulator& sim, std::string name, const LinkConfig& cfg)
@@ -19,7 +21,16 @@ Link::Link(Simulator& sim, std::string name, const LinkConfig& cfg)
     throw std::invalid_argument("Link: random_loss_prob must be in [0,1)");
 }
 
+Link::~Link() = default;
+
 void Link::handle(Packet pkt) {
+  if (fluid_active_) {
+    // Safety net: a discrete packet reached a link whose cross traffic is
+    // currently fluid (e.g. a stream sent without a collision window).
+    // Materialize the fluid backlog first so this packet queues behind
+    // exactly the bytes that would have been ahead of it in packet mode.
+    if (fluid_interrupt_) fluid_interrupt_();
+  }
   ++stats_.packets_in;
   stats_.bytes_in += pkt.size_bytes;
   if (tap_) tap_(pkt, sim_.now());
@@ -106,6 +117,28 @@ bool Link::red_drop(std::uint32_t size_bytes) {
                 static_cast<double>(red.max_threshold_bytes -
                                     red.min_threshold_bytes);
   return loss_rng_.bernoulli(frac * red.max_drop_prob);
+}
+
+FluidQueue& Link::enable_fluid() {
+  if (cfg_.discipline == QueueDiscipline::kRed)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support RED (its RNG "
+                           "draw order cannot be reproduced analytically)");
+  if (cfg_.random_loss_prob > 0.0)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support random loss");
+  if (fluid_)
+    throw std::logic_error("Link '" + name_ +
+                           "': fluid already enabled (one source per link)");
+  fluid_ = std::make_unique<FluidQueue>(*this);
+  // The fluid fast path appends one meter interval per busy run with no
+  // event between to amortize growth; unreserved, the vector's doubling
+  // copies cost ~10 ns per absorbed arrival on minute-scale runs.  2^21
+  // intervals covers minutes of sub-saturation traffic without a single
+  // doubling; the 64 MB reservation is address space, not memory — pages
+  // fault in only as intervals are actually appended.
+  meter_.reserve(1 << 21);
+  return *fluid_;
 }
 
 SimTime Link::current_delay() const {

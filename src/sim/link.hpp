@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/packet.hpp"
@@ -15,6 +16,8 @@
 #include "stats/rng.hpp"
 
 namespace abw::sim {
+
+class FluidQueue;
 
 /// Active queue management discipline of a link.
 enum class QueueDiscipline {
@@ -63,6 +66,7 @@ struct LinkStats {
 class Link final : public PacketHandler {
  public:
   Link(Simulator& sim, std::string name, const LinkConfig& cfg);
+  ~Link() override;  // out-of-line: FluidQueue is incomplete here
 
   /// Sets the downstream receiver of transmitted packets.  Must be set
   /// before the first packet arrives; not owned.
@@ -96,7 +100,41 @@ class Link final : public PacketHandler {
   /// allocation-free operation; see tests/sim_alloc_test.cpp).
   void reserve_queue(std::size_t n) { queue_.reserve(n); }
 
+  /// True while a transmission is in progress (the link is not idle).
+  bool transmitting() const { return transmitting_; }
+
+  /// This link's configuration (the fluid integrator shares it).
+  const LinkConfig& config() const { return cfg_; }
+
+  // --- hybrid fluid fast path (see sim/fluid.hpp) ------------------------
+  // In hybrid mode the link's cross traffic is integrated analytically by
+  // a FluidQueue between probe collision windows.  Packet mode never
+  // touches any of this: without enable_fluid() the only added cost in
+  // handle() is one always-false branch.
+
+  /// Creates the fluid integrator.  Throws if the link uses RED or random
+  /// loss (their RNG draw order cannot be reproduced analytically — the
+  /// hybrid validity envelope), or if already enabled (one fluid source
+  /// per link).
+  FluidQueue& enable_fluid();
+
+  /// The fluid integrator, or nullptr when hybrid is off.
+  FluidQueue* fluid() { return fluid_.get(); }
+
+  /// Marks whether the attached source currently feeds this link as
+  /// fluid.  While set, any discrete packet reaching handle() first runs
+  /// the interrupt hook (which materializes the fluid backlog) — the
+  /// safety net behind the explicit collision-horizon windows.
+  void set_fluid_active(bool on) { fluid_active_ = on; }
+  bool fluid_active() const { return fluid_active_; }
+
+  /// Installs the conversion hook (the owning HybridCrossSource).
+  void set_fluid_interrupt(std::function<void()> cb) {
+    fluid_interrupt_ = std::move(cb);
+  }
+
  private:
+  friend class FluidQueue;
   void start_transmission();                   // pull the next queued packet
   void begin_transmission(const Packet& pkt);  // serialize + arm the event
   void finish_transmission();  // the link's single recurring tx event
@@ -124,6 +162,10 @@ class Link final : public PacketHandler {
   std::function<void(const Packet&, SimTime)> tap_;
   stats::Rng loss_rng_;
   double red_avg_bytes_ = 0.0;  // EWMA queue estimate for RED
+
+  std::unique_ptr<FluidQueue> fluid_;  // hybrid mode only
+  bool fluid_active_ = false;
+  std::function<void()> fluid_interrupt_;
 };
 
 }  // namespace abw::sim

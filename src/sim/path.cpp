@@ -5,7 +5,7 @@
 
 namespace abw::sim {
 
-Path::Path(Simulator& sim, const std::vector<LinkConfig>& configs) {
+Path::Path(Simulator& sim, const std::vector<LinkConfig>& configs) : sim_(&sim) {
   if (configs.empty()) throw std::invalid_argument("Path: need at least one hop");
   links_.reserve(configs.size());
   routers_.reserve(configs.size());
@@ -31,19 +31,36 @@ void Path::inject(std::size_t hop, Packet pkt) {
   links_.at(hop)->handle(pkt);
 }
 
+void Path::sync_hybrid(SimTime t) const {
+  if (hybrid_agents_.empty()) return;
+  if (t > sim_->now()) t = sim_->now();
+  for (HybridAgent* a : hybrid_agents_) a->sync(t);
+}
+
+void Path::open_packet_window(SimTime start) const {
+  for (HybridAgent* a : hybrid_agents_) a->open_window(start);
+}
+
+void Path::close_packet_window() const {
+  for (HybridAgent* a : hybrid_agents_) a->close_window();
+}
+
 double Path::avail_bw(SimTime t1, SimTime t2) const {
+  sync_hybrid(t2);
   double a = std::numeric_limits<double>::infinity();
   for (const auto& l : links_) a = std::min(a, l->meter().avail_bw(t1, t2));
   return a;
 }
 
 double Path::cross_avail_bw(SimTime t1, SimTime t2) const {
+  sync_hybrid(t2);
   double a = std::numeric_limits<double>::infinity();
   for (const auto& l : links_) a = std::min(a, l->meter().cross_avail_bw(t1, t2));
   return a;
 }
 
 std::size_t Path::tight_link(SimTime t1, SimTime t2) const {
+  sync_hybrid(t2);
   std::size_t best = 0;
   double a = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < links_.size(); ++i) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/hybrid.hpp"
 #include "sim/link.hpp"
 #include "sim/node.hpp"
 #include "sim/packet.hpp"
@@ -63,11 +64,31 @@ class Path {
   /// packet of `bytes` — the minimum possible one-way delay.
   SimTime base_owd(std::uint32_t bytes) const;
 
+  // --- hybrid mode (see sim/hybrid.hpp) ----------------------------------
+
+  /// Registers a hybrid cross-traffic source on this path.  Not owned.
+  void attach_hybrid(HybridAgent* agent) { hybrid_agents_.push_back(agent); }
+
+  /// True when any hybrid source is attached (the scenario runs in
+  /// SimMode::kHybrid).
+  bool hybrid() const { return !hybrid_agents_.empty(); }
+
+  /// Brings all fluid accounting up to date through `t` (clamped to the
+  /// simulator clock).  Ground-truth queries call this implicitly.
+  void sync_hybrid(SimTime t) const;
+
+  /// Opens/closes a packet window on every hybrid source: probe sessions
+  /// bracket each stream so probe/cross interactions stay packet-accurate.
+  void open_packet_window(SimTime start) const;
+  void close_packet_window() const;
+
  private:
+  Simulator* sim_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<RouterNode>> routers_;
   CountingSink cross_sink_;
   PacketHandler* receiver_ = nullptr;
+  std::vector<HybridAgent*> hybrid_agents_;
 };
 
 }  // namespace abw::sim

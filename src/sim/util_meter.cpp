@@ -10,60 +10,42 @@ UtilizationMeter::UtilizationMeter(double capacity_bps) : capacity_bps_(capacity
     throw std::invalid_argument("UtilizationMeter: capacity must be > 0");
 }
 
-void UtilizationMeter::add_busy(SimTime start, SimTime end, bool measurement) {
-  if (end <= start) throw std::invalid_argument("UtilizationMeter: empty interval");
-  if (!starts_.empty() && start < ends_.back())
+void UtilizationMeter::fail_add_busy(bool overlap) const {
+  if (overlap)
     throw std::logic_error("UtilizationMeter: overlapping busy interval");
-  if (!ends_.empty() && start == ends_.back() && is_meas_.back() == measurement) {
-    // Back-to-back transmission with the same attribution: extend.
-    ends_.back() = end;
-    cum_busy_.back() += end - start;
-    if (measurement) cum_meas_busy_.back() += end - start;
-    return;
-  }
-  SimTime prev = cum_busy_.empty() ? 0 : cum_busy_.back();
-  SimTime prev_meas = cum_meas_busy_.empty() ? 0 : cum_meas_busy_.back();
-  starts_.push_back(start);
-  ends_.push_back(end);
-  is_meas_.push_back(measurement);
-  cum_busy_.push_back(prev + (end - start));
-  cum_meas_busy_.push_back(prev_meas + (measurement ? end - start : 0));
+  throw std::invalid_argument("UtilizationMeter: empty interval");
 }
 
-namespace {
+std::pair<std::size_t, std::size_t> UtilizationMeter::window_range(
+    SimTime t1, SimTime t2) const {
+  if (t2 <= t1 || iv_.empty()) return {0, 0};
+  // lo = first interval ending after t1; hi = first starting at/after t2.
+  auto lo_it = std::upper_bound(iv_.begin(), iv_.end(), t1,
+                                [](SimTime t, const Interval& i) { return t < i.end; });
+  auto hi_it = std::lower_bound(iv_.begin(), iv_.end(), t2,
+                                [](const Interval& i, SimTime t) { return i.start < t; });
+  return {static_cast<std::size_t>(lo_it - iv_.begin()),
+          static_cast<std::size_t>(hi_it - iv_.begin())};
+}
 
-// Shared window-sum over disjoint sorted intervals with a prefix-sum
-// array; `select` maps an interval index to the share of its duration
-// that counts (for the measurement sum, 0 or the full interval).
-template <typename Select>
-SimTime window_sum(const std::vector<SimTime>& starts,
-                   const std::vector<SimTime>& ends,
-                   const std::vector<SimTime>& cum, SimTime t1, SimTime t2,
-                   Select counts_interval) {
-  if (t2 <= t1 || starts.empty()) return 0;
-  auto lo_it = std::upper_bound(ends.begin(), ends.end(), t1);
-  std::size_t lo = static_cast<std::size_t>(lo_it - ends.begin());
-  auto hi_it = std::lower_bound(starts.begin(), starts.end(), t2);
-  std::size_t hi = static_cast<std::size_t>(hi_it - starts.begin());  // exclusive
+SimTime UtilizationMeter::busy_time(SimTime t1, SimTime t2) const {
+  auto [lo, hi] = window_range(t1, t2);
   if (lo >= hi) return 0;
-
-  SimTime total = cum[hi - 1] - (lo == 0 ? 0 : cum[lo - 1]);
-  // Trim the partially covered edge intervals (only if they count).
-  if (starts[lo] < t1 && counts_interval(lo)) total -= t1 - starts[lo];
-  if (ends[hi - 1] > t2 && counts_interval(hi - 1)) total -= ends[hi - 1] - t2;
+  SimTime total = iv_[hi - 1].cum_busy - (lo == 0 ? 0 : iv_[lo - 1].cum_busy);
+  // Trim the partially covered edge intervals.
+  if (iv_[lo].start < t1) total -= t1 - iv_[lo].start;
+  if (iv_[hi - 1].end > t2) total -= iv_[hi - 1].end - t2;
   return total;
 }
 
-}  // namespace
-
-SimTime UtilizationMeter::busy_time(SimTime t1, SimTime t2) const {
-  return window_sum(starts_, ends_, cum_busy_, t1, t2,
-                    [](std::size_t) { return true; });
-}
-
 SimTime UtilizationMeter::measurement_busy_time(SimTime t1, SimTime t2) const {
-  return window_sum(starts_, ends_, cum_meas_busy_, t1, t2,
-                    [this](std::size_t i) { return static_cast<bool>(is_meas_[i]); });
+  auto [lo, hi] = window_range(t1, t2);
+  if (lo >= hi) return 0;
+  SimTime total = iv_[hi - 1].cum_meas - (lo == 0 ? 0 : iv_[lo - 1].cum_meas);
+  // Edge intervals count only if they are measurement-attributed.
+  if (iv_[lo].start < t1 && is_meas(lo)) total -= t1 - iv_[lo].start;
+  if (iv_[hi - 1].end > t2 && is_meas(hi - 1)) total -= iv_[hi - 1].end - t2;
+  return total;
 }
 
 double UtilizationMeter::utilization(SimTime t1, SimTime t2) const {
@@ -91,29 +73,29 @@ std::vector<double> UtilizationMeter::avail_bw_series(SimTime t0, SimTime t1,
   out.reserve(static_cast<std::size_t>((t1 - t0) / tau));
 
   // Consecutive windows have monotonically increasing bounds, so the
-  // binary searches of window_sum collapse to two pointers that only move
-  // forward: `lo` = first interval ending after the window start
-  // (upper_bound over ends_), `hi` = first interval starting at/after the
-  // window end (lower_bound over starts_).  The integer busy/measurement
-  // sums — and therefore the resulting doubles — are identical to what
-  // per-window busy_time()/measurement_busy_time() queries compute.
-  const std::size_t n = starts_.size();
+  // binary searches of window_range collapse to two pointers that only
+  // move forward: `lo` = first interval ending after the window start,
+  // `hi` = first interval starting at/after the window end.  The integer
+  // busy/measurement sums — and therefore the resulting doubles — are
+  // identical to what per-window busy_time()/measurement_busy_time()
+  // queries compute.
+  const std::size_t n = iv_.size();
   std::size_t lo = 0, hi = 0;
   for (SimTime t = t0; t + tau <= t1; t += tau) {
     const SimTime w1 = t, w2 = t + tau;
-    while (lo < n && ends_[lo] <= w1) ++lo;
-    while (hi < n && starts_[hi] < w2) ++hi;
+    while (lo < n && iv_[lo].end <= w1) ++lo;
+    while (hi < n && iv_[hi].start < w2) ++hi;
     SimTime busy = 0, meas = 0;
     if (lo < hi) {
-      busy = cum_busy_[hi - 1] - (lo == 0 ? 0 : cum_busy_[lo - 1]);
-      meas = cum_meas_busy_[hi - 1] - (lo == 0 ? 0 : cum_meas_busy_[lo - 1]);
-      if (starts_[lo] < w1) {  // trim the partially covered left edge
-        busy -= w1 - starts_[lo];
-        if (is_meas_[lo]) meas -= w1 - starts_[lo];
+      busy = iv_[hi - 1].cum_busy - (lo == 0 ? 0 : iv_[lo - 1].cum_busy);
+      meas = iv_[hi - 1].cum_meas - (lo == 0 ? 0 : iv_[lo - 1].cum_meas);
+      if (iv_[lo].start < w1) {  // trim the partially covered left edge
+        busy -= w1 - iv_[lo].start;
+        if (is_meas(lo)) meas -= w1 - iv_[lo].start;
       }
-      if (ends_[hi - 1] > w2) {  // trim the partially covered right edge
-        busy -= ends_[hi - 1] - w2;
-        if (is_meas_[hi - 1]) meas -= ends_[hi - 1] - w2;
+      if (iv_[hi - 1].end > w2) {  // trim the partially covered right edge
+        busy -= iv_[hi - 1].end - w2;
+        if (is_meas(hi - 1)) meas -= iv_[hi - 1].end - w2;
       }
     }
     SimTime counted = exclude_measurement ? busy - meas : busy;
@@ -123,12 +105,6 @@ std::vector<double> UtilizationMeter::avail_bw_series(SimTime t0, SimTime t1,
   return out;
 }
 
-void UtilizationMeter::reserve(std::size_t n) {
-  starts_.reserve(n);
-  ends_.reserve(n);
-  cum_busy_.reserve(n);
-  cum_meas_busy_.reserve(n);
-  is_meas_.reserve(n);
-}
+void UtilizationMeter::reserve(std::size_t n) { iv_.reserve(n); }
 
 }  // namespace abw::sim

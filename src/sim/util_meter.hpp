@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -31,7 +32,29 @@ class UtilizationMeter {
   /// `measurement` attribution are coalesced.  `measurement` marks busy
   /// time caused by the measurement's own packets (probes, the measured
   /// TCP flow) so ground truth can be computed against cross traffic only.
-  void add_busy(SimTime start, SimTime end, bool measurement = false);
+  ///
+  /// Defined inline: this is called once per busy run of every link in
+  /// BOTH simulation modes, and in hybrid mode it is the single largest
+  /// per-arrival cost of the fluid fast path (each isolated packet is its
+  /// own run), so the call must vanish into the recording sites.
+  void add_busy(SimTime start, SimTime end, bool measurement = false) {
+    if (end <= start) fail_add_busy(/*overlap=*/false);
+    if (!iv_.empty()) {
+      Interval& last = iv_.back();
+      if (start < last.end) fail_add_busy(/*overlap=*/true);
+      if (start == last.end && is_meas(iv_.size() - 1) == measurement) {
+        // Back-to-back transmission with the same attribution: extend.
+        last.end = end;
+        last.cum_busy += end - start;
+        if (measurement) last.cum_meas += end - start;
+        return;
+      }
+      iv_.push_back({start, end, last.cum_busy + (end - start),
+                     last.cum_meas + (measurement ? end - start : 0)});
+      return;
+    }
+    iv_.push_back({start, end, end - start, measurement ? end - start : 0});
+  }
 
   /// Busy time within [t1, t2), exact (all traffic).
   SimTime busy_time(SimTime t1, SimTime t2) const;
@@ -68,19 +91,38 @@ class UtilizationMeter {
   double capacity_bps() const { return capacity_bps_; }
 
   /// Number of stored (coalesced) busy intervals.
-  std::size_t interval_count() const { return starts_.size(); }
+  std::size_t interval_count() const { return iv_.size(); }
 
  private:
+  /// One coalesced busy interval with its running prefix sums.  A single
+  /// contiguous record per interval keeps add_busy() to one push_back —
+  /// the recording path is hot in both simulation modes (every busy run
+  /// of every link), and the old five parallel vectors (incl. a
+  /// std::vector<bool>) cost ~3x as much per record with worse locality
+  /// on the query side, for identical stored values.
+  struct Interval {
+    SimTime start = 0;
+    SimTime end = 0;
+    SimTime cum_busy = 0;  ///< prefix sum of busy durations through here
+    SimTime cum_meas = 0;  ///< prefix sum of measurement-attributed busy
+  };
+
+  /// Attribution of interval i: measurement intervals contribute their
+  /// full (positive) duration to cum_meas, cross intervals contribute 0.
+  bool is_meas(std::size_t i) const {
+    return iv_[i].cum_meas != (i == 0 ? 0 : iv_[i - 1].cum_meas);
+  }
+
+  /// [lo, hi) interval-index range overlapping window [t1, t2).
+  std::pair<std::size_t, std::size_t> window_range(SimTime t1, SimTime t2) const;
+
+  /// Cold path of add_busy(): throws the matching exception.
+  [[noreturn]] void fail_add_busy(bool overlap) const;
+
   double capacity_bps_;
-  // Parallel arrays of interval bounds; starts_ is sorted and intervals
-  // are disjoint, enabling binary-search queries.
-  std::vector<SimTime> starts_;
-  std::vector<SimTime> ends_;
-  // Prefix sums of busy durations for O(log n) window queries; the
-  // second array tracks the measurement-attributed share per interval.
-  std::vector<SimTime> cum_busy_;
-  std::vector<SimTime> cum_meas_busy_;
-  std::vector<bool> is_meas_;  // attribution of each stored interval
+  // Sorted by start; intervals are disjoint, enabling binary-search
+  // queries.
+  std::vector<Interval> iv_;
 };
 
 }  // namespace abw::sim

@@ -1,0 +1,42 @@
+// Chunked arrival stream: bulk (time, size) arrays produced by
+// Generator::fill().  Both simulation modes can consume arrivals in
+// chunks — the fluid fast path absorbs whole chunks analytically, and a
+// packet-mode consumer can inject them one by one — replacing
+// one-scheduled-event-per-cross-packet with one refill per chunk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace abw::traffic {
+
+/// A batch of packet arrivals in struct-of-arrays form: `times[i]` is the
+/// arrival instant of a packet of `sizes[i]` bytes.  Times are strictly
+/// ascending within a chunk (gaps are >= 1 ns).
+struct ArrivalChunk {
+  std::vector<sim::SimTime> times;
+  std::vector<std::uint32_t> sizes;
+
+  std::size_t size() const { return times.size(); }
+  bool empty() const { return times.empty(); }
+
+  void clear() {
+    times.clear();
+    sizes.clear();
+  }
+
+  void reserve(std::size_t n) {
+    times.reserve(n);
+    sizes.reserve(n);
+  }
+
+  void push_back(sim::SimTime t, std::uint32_t s) {
+    times.push_back(t);
+    sizes.push_back(s);
+  }
+};
+
+}  // namespace abw::traffic

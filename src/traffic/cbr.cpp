@@ -19,4 +19,23 @@ sim::SimTime CbrGenerator::next_gap(stats::Rng&, sim::SimTime) { return gap_; }
 
 std::uint32_t CbrGenerator::next_size(stats::Rng&) { return packet_size_; }
 
+std::size_t CbrGenerator::fill(ArrivalChunk& out, std::size_t max_arrivals) {
+  if (!pull_armed())
+    throw std::logic_error("Generator::fill before begin_stream");
+  const sim::SimTime t1 = pull_end();
+  sim::SimTime t = pull_cursor();
+  std::size_t n = 0;
+  while (n < max_arrivals) {
+    t += gap_;
+    if (t >= t1) {
+      finish_pull();
+      break;
+    }
+    out.push_back(t, packet_size_);
+    advance_pull(t, packet_size_);
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace abw::traffic

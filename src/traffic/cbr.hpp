@@ -14,6 +14,12 @@ class CbrGenerator final : public Generator {
                bool one_hop, std::uint32_t flow_id, stats::Rng rng,
                double rate_bps, std::uint32_t packet_size);
 
+  /// The arrival sequence is an arithmetic progression and neither draw
+  /// touches the Rng, so bulk generation skips both virtual calls per
+  /// packet with nothing else to reproduce (tests/fluid_test.cpp asserts
+  /// equivalence with the base loop).
+  std::size_t fill(ArrivalChunk& out, std::size_t max_arrivals) override;
+
  protected:
   sim::SimTime next_gap(stats::Rng& rng, sim::SimTime now) override;
   std::uint32_t next_size(stats::Rng& rng) override;

@@ -42,6 +42,8 @@ class FgnRateGenerator final : public Generator {
   FgnRateConfig cfg_;
   std::vector<double> rates_;  // per-window target rates, lazily built
   sim::SimTime series_origin_ = -1;
+  sim::SimTime window_end_ = -1;  // end of the cached modulation window
+  double window_rate_ = 0.0;      // rate of the cached window
 };
 
 }  // namespace abw::traffic

@@ -19,6 +19,7 @@ Generator::Generator(sim::Simulator& sim, sim::Path& path, std::size_t entry_hop
 
 void Generator::start(sim::SimTime t0, sim::SimTime t1) {
   if (started_) throw std::logic_error("Generator::start called twice");
+  if (pull_active_) throw std::logic_error("Generator::start after begin_stream");
   if (t1 <= t0) throw std::invalid_argument("Generator: empty active window");
   started_ = true;
   t0_ = t0;
@@ -85,6 +86,40 @@ void Generator::emit() {
   } else {
     arm_next();
   }
+}
+
+void Generator::begin_stream(sim::SimTime t0, sim::SimTime t1) {
+  if (started_) throw std::logic_error("Generator::begin_stream after start");
+  if (pull_active_) throw std::logic_error("Generator::begin_stream called twice");
+  if (t1 <= t0) throw std::invalid_argument("Generator: empty active window");
+  pull_active_ = true;
+  t0_ = t0;
+  t1_ = t1;
+  pull_t_ = t0;
+}
+
+std::size_t Generator::fill(ArrivalChunk& out, std::size_t max_arrivals) {
+  if (!pull_active_) throw std::logic_error("Generator::fill before begin_stream");
+  std::size_t n = 0;
+  while (n < max_arrivals && !pull_done_) {
+    // Same consumption order as the self-scheduling path: the gap is drawn
+    // with `now` = the previous arrival time (arm_next() runs inside the
+    // previous emit), and the final gap crossing t1 is drawn but its
+    // packet size is not (schedule_emit() discards the wakeup).
+    sim::SimTime gap = next_gap(rng_, pull_t_);
+    sim::SimTime t = pull_t_ + gap;
+    if (t >= t1_) {
+      pull_done_ = true;
+      break;
+    }
+    std::uint32_t size = next_size(rng_);
+    out.push_back(t, size);
+    pull_t_ = t;
+    ++packets_sent_;
+    bytes_sent_ += size;
+    ++n;
+  }
+  return n;
 }
 
 double Generator::offered_rate() const {

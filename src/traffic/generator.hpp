@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/packet.hpp"
+#include "traffic/arrival_stream.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
 #include "stats/rng.hpp"
@@ -40,6 +41,32 @@ class Generator {
   /// Average offered rate over the active window so far, bits/s.
   double offered_rate() const;
 
+  // --- chunked pull API (hybrid mode) ------------------------------------
+  // Instead of self-scheduling one event per packet, the generator can be
+  // pulled: begin_stream() fixes the active window, and fill() appends the
+  // next arrivals as bulk (time, size) arrays.  The RNG draw order —
+  // gap_1, size_1, gap_2, size_2, ... with `now` = the previous arrival
+  // time — is exactly the order the self-scheduling path consumes, so for
+  // the same seed both paths produce the identical packet sequence
+  // (asserted by tests/fluid_test.cpp).  A generator is either pulled or
+  // started, never both.
+
+  /// Arms the pull cursor over [t0, t1).  May be called once.
+  void begin_stream(sim::SimTime t0, sim::SimTime t1);
+
+  /// Appends up to `max_arrivals` arrivals to `out` (not cleared).
+  /// Returns the number appended; less than `max_arrivals` only when the
+  /// active window is exhausted (stream_done() turns true).  Virtual so
+  /// sources whose arrivals are already materialized (TraceGenerator) can
+  /// bulk-copy instead of paying two virtual draws per packet; overrides
+  /// must produce the identical arrival sequence and bookkeeping as the
+  /// base loop (asserted by tests/fluid_test.cpp) using the protected
+  /// pull-cursor helpers below.
+  virtual std::size_t fill(ArrivalChunk& out, std::size_t max_arrivals);
+
+  /// True once fill() has consumed the whole active window.
+  bool stream_done() const { return pull_done_; }
+
  protected:
   /// Next interarrival gap; called once per packet.  `now` is the current
   /// simulated time (rate-modulated processes need it).
@@ -59,6 +86,28 @@ class Generator {
   virtual bool gap_is_time_invariant() const { return false; }
 
   stats::Rng& rng() { return rng_; }
+
+  // --- pull-cursor helpers for fill() overrides --------------------------
+
+  /// True once begin_stream() armed the pull cursor.
+  bool pull_armed() const { return pull_active_; }
+
+  /// End of the active window [t0, t1).
+  sim::SimTime pull_end() const { return t1_; }
+
+  /// The previous arrival time (gap anchor), t0 before the first arrival.
+  sim::SimTime pull_cursor() const { return pull_t_; }
+
+  /// Records one pulled arrival: advances the cursor and the sent
+  /// counters exactly as the base fill() loop does.
+  void advance_pull(sim::SimTime t, std::uint32_t size_bytes) {
+    pull_t_ = t;
+    ++packets_sent_;
+    bytes_sent_ += size_bytes;
+  }
+
+  /// Marks the active window exhausted (stream_done() turns true).
+  void finish_pull() { pull_done_ = true; }
 
  private:
   /// Pre-drawn batch size for time-invariant arrival processes.
@@ -85,6 +134,9 @@ class Generator {
 
   sim::SimTime t0_ = 0, t1_ = 0;
   bool started_ = false;
+  bool pull_active_ = false;
+  bool pull_done_ = false;
+  sim::SimTime pull_t_ = 0;  ///< previous arrival time (gap anchor)
   std::uint32_t seq_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

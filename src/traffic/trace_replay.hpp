@@ -10,6 +10,7 @@
 #include "sim/packet.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/generator.hpp"
 
 namespace abw::traffic {
 
@@ -40,6 +41,38 @@ class TraceReplayer {
   std::uint32_t flow_id_;
   std::uint32_t seq_ = 0;
   std::uint64_t packets_sent_ = 0;
+};
+
+/// The same trace served through the Generator interface instead of
+/// pre-scheduled events, which is what makes a recorded workload usable
+/// in BOTH simulation modes: started, it self-schedules packet events
+/// like any generator; pulled through begin_stream()/fill(), it feeds a
+/// hybrid-mode FluidQueue with zero per-arrival events and zero RNG.
+/// Records must be nondecreasing in time and must not precede the
+/// activation time t0 (a record before t0 is emitted at t0).
+class TraceGenerator final : public Generator {
+ public:
+  /// The Rng is unused (a trace has no randomness) but keeps the
+  /// constructor signature uniform with the synthetic generators.
+  TraceGenerator(sim::Simulator& sim, sim::Path& path, std::size_t entry_hop,
+                 bool one_hop, std::uint32_t flow_id,
+                 std::vector<ReplayRecord> records);
+
+  std::size_t trace_size() const { return records_.size(); }
+
+  /// Bulk copy straight from the record array — the arrivals already
+  /// exist, so the two virtual draws per packet of the base loop reduce
+  /// to a bounds check and a push.  Produces the identical sequence and
+  /// bookkeeping as the base implementation (tests/fluid_test.cpp).
+  std::size_t fill(ArrivalChunk& out, std::size_t max_arrivals) override;
+
+ protected:
+  sim::SimTime next_gap(stats::Rng& rng, sim::SimTime now) override;
+  std::uint32_t next_size(stats::Rng& rng) override;
+
+ private:
+  std::vector<ReplayRecord> records_;
+  std::size_t cursor_ = 0;  ///< record the next next_gap/next_size serves
 };
 
 }  // namespace abw::traffic

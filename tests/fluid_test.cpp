@@ -1,0 +1,457 @@
+// Tests for the hybrid fluid/packet fast path: chunked-vs-scalar generator
+// equivalence, exact FluidQueue-vs-DES agreement on one link, and
+// scenario-level hybrid-vs-packet ground-truth/OWD agreement.
+//
+// The full utilization x model sweep is long; by default each axis runs a
+// reduced subset.  Set ABW_SLOW=1 (the `slow`-labeled ctest entry, enabled
+// with -DABW_SLOW_TESTS=ON) for the complete sweep.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "probe/stream_spec.hpp"
+#include "sim/fluid.hpp"
+#include "sim/link.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/arrival_stream.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/fgn_rate.hpp"
+#include "traffic/pareto_gaps.hpp"
+#include "traffic/pareto_onoff.hpp"
+#include "traffic/poisson.hpp"
+#include "traffic/trace_replay.hpp"
+
+namespace {
+
+using namespace abw;
+using abw::sim::kMillisecond;
+using abw::sim::kSecond;
+using abw::sim::SimTime;
+
+bool slow_tests() { return std::getenv("ABW_SLOW") != nullptr; }
+
+// ------------------------------------------- chunked-vs-scalar arrivals ---
+
+// One (arrival time, size) record, as seen by a link arrival tap.
+struct Arrival {
+  SimTime t;
+  std::uint32_t size;
+  bool operator==(const Arrival& o) const { return t == o.t && size == o.size; }
+};
+
+enum class GenKind { kCbr, kPoissonFixed, kPoissonTrimodal, kParetoOnOff,
+                     kParetoGap, kFgn, kTrace };
+
+std::unique_ptr<traffic::Generator> make_gen(GenKind kind, sim::Simulator& sim,
+                                             sim::Path& path,
+                                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  switch (kind) {
+    case GenKind::kCbr:
+      return std::make_unique<traffic::CbrGenerator>(
+          sim, path, 0, false, 1, std::move(rng), 25e6, 1500);
+    case GenKind::kPoissonFixed:
+      return std::make_unique<traffic::PoissonGenerator>(
+          sim, path, 0, false, 1, std::move(rng), 25e6,
+          traffic::SizeDistribution::fixed(1500));
+    case GenKind::kPoissonTrimodal:
+      return std::make_unique<traffic::PoissonGenerator>(
+          sim, path, 0, false, 1, std::move(rng), 25e6,
+          traffic::SizeDistribution::internet_mix());
+    case GenKind::kParetoOnOff: {
+      traffic::ParetoOnOffConfig oc;
+      oc.mean_rate_bps = 25e6;
+      oc.peak_rate_bps = 50e6;
+      return std::make_unique<traffic::ParetoOnOffGenerator>(
+          sim, path, 0, false, 1, std::move(rng), oc);
+    }
+    case GenKind::kParetoGap:
+      return std::make_unique<traffic::ParetoGapGenerator>(
+          sim, path, 0, false, 1, std::move(rng), 25e6, 1500);
+    case GenKind::kFgn: {
+      traffic::FgnRateConfig fc;
+      fc.mean_rate_bps = 25e6;
+      return std::make_unique<traffic::FgnRateGenerator>(
+          sim, path, 0, false, 1, std::move(rng), fc);
+    }
+    case GenKind::kTrace: {
+      // A deterministic recorded workload (bursty gaps, trimodal sizes,
+      // a few pre-t0 records to exercise the emit-at-t0 clamp).  The
+      // TraceGenerator override of fill() must reproduce the base
+      // consumption bit-exactly.
+      std::vector<traffic::ReplayRecord> recs;
+      SimTime t = 50 * kMillisecond;  // before the test's t0 = 100 ms
+      for (int i = 0; i < 4000; ++i) {
+        t += sim::from_seconds(rng.exponential(0.0004));
+        std::uint32_t size = i % 3 == 0 ? 40u : (i % 3 == 1 ? 576u : 1500u);
+        recs.push_back({t, size});
+      }
+      return std::make_unique<traffic::TraceGenerator>(sim, path, 0, false, 1,
+                                                       std::move(recs));
+    }
+  }
+  throw std::logic_error("unknown kind");
+}
+
+// A path whose single fat link never queues, so tap arrival times equal
+// injection times.
+sim::LinkConfig tap_link() {
+  sim::LinkConfig lc;
+  lc.capacity_bps = 10e9;
+  lc.propagation_delay = 0;
+  return lc;
+}
+
+class ChunkedEquivalence : public ::testing::TestWithParam<GenKind> {};
+
+TEST_P(ChunkedEquivalence, FillMatchesSelfScheduledPath) {
+  const SimTime t0 = 100 * kMillisecond;
+  const SimTime t1 = 2 * kSecond;
+  const std::uint64_t seed = 77;
+
+  // Legacy: self-scheduling generator, arrivals recorded by the link tap.
+  sim::Simulator sim_a;
+  sim::Path path_a(sim_a, {tap_link()});
+  sim::CountingSink sink_a;
+  path_a.set_receiver(&sink_a);
+  std::vector<Arrival> legacy;
+  path_a.link(0).set_arrival_tap([&](const sim::Packet& p, SimTime now) {
+    legacy.push_back({now, p.size_bytes});
+  });
+  auto gen_a = make_gen(GetParam(), sim_a, path_a, seed);
+  gen_a->start(t0, t1);
+  sim_a.run_until(t1 + kSecond);
+
+  // Pull: same generator type and seed through the chunked API.
+  sim::Simulator sim_b;
+  sim::Path path_b(sim_b, {tap_link()});
+  auto gen_b = make_gen(GetParam(), sim_b, path_b, seed);
+  gen_b->begin_stream(t0, t1);
+  traffic::ArrivalChunk chunk;
+  std::vector<Arrival> pulled;
+  while (!gen_b->stream_done()) {
+    chunk.clear();
+    gen_b->fill(chunk, 64);
+    for (std::size_t i = 0; i < chunk.size(); ++i)
+      pulled.push_back({chunk.times[i], chunk.sizes[i]});
+  }
+
+  ASSERT_GT(legacy.size(), 100u);
+  ASSERT_EQ(legacy.size(), pulled.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_EQ(legacy[i].t, pulled[i].t) << "arrival " << i;
+    ASSERT_EQ(legacy[i].size, pulled[i].size) << "arrival " << i;
+  }
+  EXPECT_EQ(gen_a->packets_sent(), gen_b->packets_sent());
+  EXPECT_EQ(gen_a->bytes_sent(), gen_b->bytes_sent());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, ChunkedEquivalence,
+                         ::testing::Values(GenKind::kCbr,
+                                           GenKind::kPoissonFixed,
+                                           GenKind::kPoissonTrimodal,
+                                           GenKind::kParetoOnOff,
+                                           GenKind::kParetoGap,
+                                           GenKind::kFgn,
+                                           GenKind::kTrace));
+
+TEST(ChunkedApi, StartAndBeginStreamAreExclusive) {
+  sim::Simulator sim;
+  sim::Path path(sim, {tap_link()});
+  auto g1 = make_gen(GenKind::kPoissonFixed, sim, path, 1);
+  g1->start(0, kSecond);
+  EXPECT_THROW(g1->begin_stream(0, kSecond), std::logic_error);
+  auto g2 = make_gen(GenKind::kPoissonFixed, sim, path, 1);
+  g2->begin_stream(0, kSecond);
+  EXPECT_THROW(g2->start(0, kSecond), std::logic_error);
+  traffic::ArrivalChunk c;
+  auto g3 = make_gen(GenKind::kPoissonFixed, sim, path, 1);
+  EXPECT_THROW(g3->fill(c, 8), std::logic_error);
+}
+
+// ------------------------------------------------- FluidQueue vs DES ------
+
+// Feeds the identical arrival sequence through a real event-driven link
+// and through a FluidQueue, then requires the utilization meter and the
+// link counters to agree exactly.
+void check_fluid_matches_des(GenKind kind, std::size_t queue_limit_bytes) {
+  const SimTime t0 = 0;
+  const SimTime t1 = 5 * kSecond;
+  const std::uint64_t seed = 1234;
+
+  sim::LinkConfig lc;
+  lc.capacity_bps = 30e6;  // ~0.83 utilization at 25 Mb/s offered
+  lc.propagation_delay = 0;
+  lc.queue_limit_bytes = queue_limit_bytes;
+
+  // Reference: plain DES.
+  sim::Simulator sim_a;
+  sim::Path path_a(sim_a, {lc});
+  sim::CountingSink sink_a;
+  path_a.set_receiver(&sink_a);
+  auto gen_a = make_gen(kind, sim_a, path_a, seed);
+  gen_a->start(t0, t1);
+  sim_a.run_until(t1 + kSecond);  // drain
+
+  // Fluid: same arrivals absorbed in chunks.
+  sim::Simulator sim_b;
+  sim::Path path_b(sim_b, {lc});
+  sim::Link& link_b = path_b.link(0);
+  sim::FluidQueue& fq = link_b.enable_fluid();
+  fq.reset(t0);
+  auto gen_b = make_gen(kind, sim_b, path_b, seed);
+  gen_b->begin_stream(t0, t1);
+  traffic::ArrivalChunk chunk;
+  while (!gen_b->stream_done()) {
+    chunk.clear();
+    if (gen_b->fill(chunk, 256) == 0) break;
+    fq.absorb(chunk.times.data(), chunk.sizes.data(), chunk.size(),
+              chunk.times.back());
+  }
+  fq.advance(t1 + kSecond);
+
+  const sim::LinkStats& a = path_a.link(0).stats();
+  const sim::LinkStats& b = link_b.stats();
+  EXPECT_EQ(a.packets_in, b.packets_in);
+  EXPECT_EQ(a.bytes_in, b.bytes_in);
+  EXPECT_EQ(a.packets_out, b.packets_out);
+  EXPECT_EQ(a.bytes_out, b.bytes_out);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+
+  // Utilization agrees exactly on every sub-window (identical busy
+  // intervals -> identical prefix sums).
+  for (SimTime w = 0; w + 500 * kMillisecond <= t1; w += 500 * kMillisecond) {
+    double ua = path_a.link(0).meter().utilization(w, w + 500 * kMillisecond);
+    double ub = link_b.meter().utilization(w, w + 500 * kMillisecond);
+    EXPECT_DOUBLE_EQ(ua, ub) << "window at " << w;
+  }
+}
+
+TEST(FluidQueue, MatchesDesExactlyPoisson) {
+  check_fluid_matches_des(GenKind::kPoissonFixed, 2 << 20);
+}
+
+TEST(FluidQueue, MatchesDesExactlyCbr) {
+  check_fluid_matches_des(GenKind::kCbr, 2 << 20);
+}
+
+TEST(FluidQueue, MatchesDesExactlyParetoOnOff) {
+  check_fluid_matches_des(GenKind::kParetoOnOff, 2 << 20);
+}
+
+TEST(FluidQueue, MatchesDesExactlyTrace) {
+  check_fluid_matches_des(GenKind::kTrace, 2 << 20);
+}
+
+TEST(FluidQueue, MatchesDesDropsWithTinyQueue) {
+  // 6 kB queue at 0.83 utilization forces frequent drop-tail decisions;
+  // fluid and DES must make the identical ones.
+  check_fluid_matches_des(GenKind::kParetoOnOff, 6 * 1024);
+}
+
+TEST(FluidQueue, RejectsUnsupportedLinkFeatures) {
+  sim::Simulator sim;
+  sim::LinkConfig red = tap_link();
+  red.discipline = sim::QueueDiscipline::kRed;
+  sim::Path p1(sim, {red});
+  EXPECT_THROW(p1.link(0).enable_fluid(), std::logic_error);
+
+  sim::LinkConfig lossy = tap_link();
+  lossy.random_loss_prob = 0.01;
+  sim::Path p2(sim, {lossy});
+  EXPECT_THROW(p2.link(0).enable_fluid(), std::logic_error);
+
+  sim::Path p3(sim, {tap_link()});
+  p3.link(0).enable_fluid();
+  EXPECT_THROW(p3.link(0).enable_fluid(), std::logic_error);
+}
+
+// ------------------------------------------- hybrid scenario agreement ----
+
+core::SingleHopConfig hybrid_cfg(core::CrossModel model, double util,
+                                 sim::SimMode mode) {
+  core::SingleHopConfig cfg;
+  cfg.model = model;
+  cfg.mode = mode;
+  cfg.cross_rate_bps = util * cfg.capacity_bps;
+  cfg.traffic_horizon = 40 * kSecond;
+  cfg.seed = 99;
+  return cfg;
+}
+
+// Without probes the hybrid run IS the packet run, integrated in batch:
+// ground truth must agree to floating-point noise.
+TEST(HybridScenario, UnprobedGroundTruthNearExact) {
+  std::vector<double> utils = slow_tests()
+      ? std::vector<double>{0.2, 0.3, 0.5, 0.7, 0.8, 0.9}
+      : std::vector<double>{0.3, 0.8};
+  for (core::CrossModel model : {core::CrossModel::kCbr,
+                                 core::CrossModel::kPoisson,
+                                 core::CrossModel::kParetoOnOff}) {
+    for (double util : utils) {
+      auto pkt = core::Scenario::single_hop(
+          hybrid_cfg(model, util, sim::SimMode::kPacket));
+      auto hyb = core::Scenario::single_hop(
+          hybrid_cfg(model, util, sim::SimMode::kHybrid));
+      const SimTime end = 12 * kSecond;
+      pkt.simulator().run_until(end);
+      hyb.simulator().run_until(end);
+      double gp = pkt.ground_truth(2 * kSecond, end);
+      double gh = hyb.ground_truth(2 * kSecond, end);
+      EXPECT_NEAR(gh, gp, gp * 1e-9)
+          << core::to_string(model) << " util " << util;
+    }
+  }
+}
+
+// Trace replay through Scenario::add_cross_source: the same recorded
+// workload drives a packet-mode and a hybrid-mode scenario; the ground
+// truth (and so every meter-derived series) must agree to floating-point
+// noise — the fig1-style bench path, end to end.
+TEST(HybridScenario, TraceReplayAgreement) {
+  std::vector<traffic::ReplayRecord> recs;
+  {
+    stats::Rng r(7);
+    SimTime t = 0;
+    for (int i = 0; i < 20000; ++i) {
+      t += sim::from_seconds(r.exponential(0.0004));
+      std::uint32_t size = i % 3 == 0 ? 40u : (i % 3 == 1 ? 576u : 1500u);
+      recs.push_back({t, size});
+    }
+  }
+  const SimTime end = 8 * kSecond;
+  double truth[2] = {0.0, 0.0};
+  std::uint64_t bytes_in[2] = {0, 0};
+  int mi = 0;
+  for (sim::SimMode mode : {sim::SimMode::kPacket, sim::SimMode::kHybrid}) {
+    sim::LinkConfig lc;
+    lc.capacity_bps = 30e6;
+    lc.propagation_delay = kMillisecond;
+    auto sc = core::Scenario::custom({lc}, /*seed=*/1);
+    sc.add_cross_source(
+        std::make_unique<traffic::TraceGenerator>(sc.simulator(), sc.path(), 0,
+                                                  false, 1000, recs),
+        0, false, 1000, mode, end + kSecond);
+    sc.simulator().run_until(end);
+    truth[mi] = sc.ground_truth(kSecond, end);
+    sc.path().sync_hybrid(end);
+    bytes_in[mi] = sc.path().link(0).stats().bytes_in;
+    ++mi;
+  }
+  EXPECT_NEAR(truth[1], truth[0], truth[0] * 1e-9);
+  EXPECT_EQ(bytes_in[1], bytes_in[0]);
+}
+
+// With probing, windows bracket each stream: ground truth within 2%, mean
+// probe OWD within 5% of the packet-mode run (same seed, same arrivals —
+// differences come only from event ties at window edges).
+TEST(HybridScenario, ProbedAgreementSweep) {
+  std::vector<double> utils = slow_tests()
+      ? std::vector<double>{0.2, 0.3, 0.5, 0.7, 0.8, 0.9}
+      : std::vector<double>{0.3, 0.8};
+  for (core::CrossModel model : {core::CrossModel::kCbr,
+                                 core::CrossModel::kPoisson,
+                                 core::CrossModel::kParetoOnOff}) {
+    for (double util : utils) {
+      double owd[2] = {0.0, 0.0};
+      double truth[2] = {0.0, 0.0};
+      SimTime end[2] = {0, 0};
+      int mi = 0;
+      for (sim::SimMode mode : {sim::SimMode::kPacket, sim::SimMode::kHybrid}) {
+        auto sc = core::Scenario::single_hop(hybrid_cfg(model, util, mode));
+        probe::StreamSpec spec = probe::StreamSpec::periodic(10e6, 1000, 20);
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (int s = 0; s < 10; ++s) {
+          probe::StreamResult r = sc.session().send_stream_now(spec);
+          for (const auto& p : r.packets) {
+            if (p.lost) continue;
+            sum += sim::to_seconds(p.received - p.sent);
+            ++n;
+          }
+          sc.simulator().run_until(sc.simulator().now() + 200 * kMillisecond);
+        }
+        ASSERT_GT(n, 0u);
+        owd[mi] = sum / static_cast<double>(n);
+        end[mi] = sc.simulator().now();
+        truth[mi] = sc.ground_truth(2 * kSecond, end[mi]);
+        ++mi;
+      }
+      EXPECT_EQ(end[0], end[1]);
+      EXPECT_NEAR(truth[1], truth[0], truth[0] * 0.02)
+          << core::to_string(model) << " util " << util;
+      EXPECT_NEAR(owd[1], owd[0], owd[0] * 0.05)
+          << core::to_string(model) << " util " << util;
+    }
+  }
+}
+
+TEST(HybridScenario, MultiHopProbedAgreement) {
+  double truth[2];
+  int mi = 0;
+  for (sim::SimMode mode : {sim::SimMode::kPacket, sim::SimMode::kHybrid}) {
+    core::MultiHopConfig mc;
+    mc.mode = mode;
+    mc.traffic_horizon = 30 * kSecond;
+    mc.seed = 5;
+    auto sc = core::Scenario::multi_hop(mc);
+    probe::StreamSpec spec = probe::StreamSpec::periodic(10e6, 1000, 20);
+    for (int s = 0; s < 5; ++s) {
+      sc.session().send_stream_now(spec);
+      sc.simulator().run_until(sc.simulator().now() + 300 * kMillisecond);
+    }
+    truth[mi++] = sc.ground_truth(2 * kSecond, sc.simulator().now());
+  }
+  EXPECT_NEAR(truth[1], truth[0], truth[0] * 0.02);
+}
+
+// A discrete packet reaching a fluid link outside any announced window
+// triggers the safety-net conversion instead of corrupting accounting.
+TEST(HybridScenario, SafetyNetConvertsOnUnexpectedPacket) {
+  auto sc = core::Scenario::single_hop(
+      hybrid_cfg(core::CrossModel::kPoisson, 0.5, sim::SimMode::kHybrid));
+  sim::Simulator& sim = sc.simulator();
+  sim::Path& path = sc.path();
+  SimTime when = sim.now() + 50 * kMillisecond;
+  sim.at(when, [&] {
+    sim::Packet pkt;
+    pkt.id = sim.next_packet_id();
+    pkt.type = sim::PacketType::kProbe;
+    pkt.measurement = true;
+    pkt.size_bytes = 1000;
+    pkt.send_time = sim.now();
+    path.inject(0, pkt);  // no open_packet_window bracket
+  });
+  sim.run_until(when + kSecond);
+  sim.run_until(10 * kSecond);
+  double truth = sc.ground_truth(2 * kSecond, 10 * kSecond);
+  EXPECT_NEAR(truth, 25e6, 2.5e6);
+  EXPECT_GE(path.link(0).stats().packets_in, 1u);
+}
+
+// Hybrid runs are as repeatable as packet runs: same seed, same results.
+TEST(HybridScenario, DeterministicAcrossRuns) {
+  double truth[2];
+  std::uint64_t received[2];
+  for (int run = 0; run < 2; ++run) {
+    auto sc = core::Scenario::single_hop(
+        hybrid_cfg(core::CrossModel::kParetoOnOff, 0.7, sim::SimMode::kHybrid));
+    probe::StreamSpec spec = probe::StreamSpec::periodic(20e6, 1200, 30);
+    std::uint64_t got = 0;
+    for (int s = 0; s < 5; ++s) {
+      probe::StreamResult r = sc.session().send_stream_now(spec);
+      got += r.packets.size() - r.lost_count();
+      sc.simulator().run_until(sc.simulator().now() + 100 * kMillisecond);
+    }
+    truth[run] = sc.ground_truth(2 * kSecond, sc.simulator().now());
+    received[run] = got;
+  }
+  EXPECT_DOUBLE_EQ(truth[0], truth[1]);
+  EXPECT_EQ(received[0], received[1]);
+}
+
+}  // namespace

@@ -34,6 +34,54 @@ TEST(Rng, ForkDivergesFromParent) {
   EXPECT_TRUE(any_diff);
 }
 
+// The hand-inlined uniform01/exponential fast paths must be bit-identical
+// to the std::distribution formulations they replaced — every golden
+// digest and seeded experiment depends on the exact draw sequence.
+TEST(Rng, RngFastPathExact) {
+  // A stub engine with mt19937_64's range lets us drive the std reference
+  // through chosen raw draws, including the one-in-2^54 rounding edge
+  // where the 64-bit value converts up to exactly 2^64.
+  struct StubEngine {
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    std::uint64_t val = 0;
+    result_type operator()() { return val; }
+  };
+  const std::uint64_t edges[] = {
+      0,         1,          1023,       1024,
+      (1ULL << 53) - 1,      (1ULL << 53),
+      ~0ULL,     ~0ULL - 1,  ~0ULL - 511, ~0ULL - 512,
+      ~0ULL - 1023,          0xfffffffffffffbffULL, 0xfffffffffffffc00ULL};
+  for (std::uint64_t x : edges) {
+    StubEngine e{x};
+    double want = std::generate_canonical<double, 53>(e);
+    double u = static_cast<double>(x) * 0x1.0p-64;
+    if (u >= 1.0) u = 0x1.fffffffffffffp-1;
+    EXPECT_EQ(want, u) << "raw draw " << x;
+  }
+  // And over the real engine: same seed, interleaved draw kinds, exact
+  // equality of both the values and the post-draw engine state.
+  std::mt19937_64 ref(987654321);
+  Rng fast(987654321);
+  for (int i = 0; i < 20000; ++i) {
+    switch (i % 3) {
+      case 0:
+        EXPECT_EQ(std::uniform_real_distribution<double>(0.0, 1.0)(ref),
+                  fast.uniform01());
+        break;
+      case 1:
+        EXPECT_EQ(std::exponential_distribution<double>(1.0 / 0.0013)(ref),
+                  fast.exponential(0.0013));
+        break;
+      default:
+        EXPECT_EQ(std::exponential_distribution<double>(1.0 / 250.0)(ref),
+                  fast.exponential(250.0));
+    }
+  }
+  EXPECT_EQ(ref(), fast.engine()());  // engines advanced in lockstep
+}
+
 TEST(Rng, Uniform01InRange) {
   Rng r(1);
   for (int i = 0; i < 1000; ++i) {
