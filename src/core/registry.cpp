@@ -35,9 +35,27 @@ double require_capacity(const ToolOptions& o, const std::string& tool) {
 
 }  // namespace
 
+namespace {
+
+std::unique_ptr<est::Estimator> make_estimator_impl(const std::string& name,
+                                                    const ToolOptions& o,
+                                                    stats::Rng& rng);
+
+}  // namespace
+
 std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
                                                const ToolOptions& o,
                                                stats::Rng& rng) {
+  std::unique_ptr<est::Estimator> e = make_estimator_impl(name, o, rng);
+  e->set_limits(o.limits);  // shared resource bounds (default: unlimited)
+  return e;
+}
+
+namespace {
+
+std::unique_ptr<est::Estimator> make_estimator_impl(const std::string& name,
+                                                    const ToolOptions& o,
+                                                    stats::Rng& rng) {
   if (name == "direct") {
     est::DirectConfig c;
     c.tight_capacity_bps = require_capacity(o, name);
@@ -101,5 +119,7 @@ std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
   }
   throw std::invalid_argument("make_estimator: unknown tool '" + name + "'");
 }
+
+}  // namespace
 
 }  // namespace abw::core

@@ -21,6 +21,10 @@ struct ToolOptions {
   double max_rate_bps = 100e6;      ///< search bracket high edge
   std::uint32_t packet_size = 0;    ///< 0 = each tool's default
   std::size_t repetitions = 0;      ///< streams/pairs/chirps; 0 = default
+  /// Resource bounds applied to every constructed tool (defaults:
+  /// unlimited).  Under impairments (fault injection, heavy loss) these
+  /// guarantee termination with a structured AbortReason.
+  est::EstimatorLimits limits;
 };
 
 /// Names accepted by make_estimator, in a stable order.

@@ -23,8 +23,14 @@ Estimate Bfind::estimate(probe::ProbeSession& session) {
   sim::Path& path = session.path();
   std::size_t hops = path.hop_count();
 
+  LimitGuard guard(limits_, session);
   for (double rate = cfg_.initial_rate_bps; rate <= cfg_.max_rate_bps;
        rate += cfg_.rate_step_bps) {
+    if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
+      Estimate e = abort_estimate(r, name());
+      e.cost = session.cost();
+      return e;
+    }
     // Schedule the per-hop "traceroute" samples for this step, then flood.
     std::vector<std::vector<double>> delays_ms(hops);
     sim::SimTime step_start = sim.now() + sim::kMillisecond;

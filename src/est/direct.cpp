@@ -50,7 +50,13 @@ std::optional<double> DirectProber::sample(probe::ProbeSession& session) {
 Estimate DirectProber::estimate(probe::ProbeSession& session) {
   stats::RunningStats acc;
   std::size_t unusable = 0;
+  LimitGuard guard(limits_, session);
   for (std::size_t k = 0; k < cfg_.stream_count; ++k) {
+    if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
+      Estimate e = abort_estimate(r, name());
+      e.cost = session.cost();
+      return e;
+    }
     if (auto a = sample(session)) {
       acc.add(*a);
       if (cfg_.adaptive) {
@@ -71,7 +77,9 @@ Estimate DirectProber::estimate(probe::ProbeSession& session) {
     session.simulator().run_until(session.simulator().now() + cfg_.inter_stream_gap);
   }
   if (acc.count() == 0)
-    return Estimate::invalid("direct: no stream congested the tight link (Ri <= A?)");
+    return Estimate::aborted(
+        AbortReason::kInsufficientData,
+        "direct: no stream congested the tight link (Ri <= A?)");
   Estimate e = Estimate::range(acc.mean() - acc.stddev(), acc.mean() + acc.stddev());
   e.cost = session.cost();
   e.detail = "samples=" + std::to_string(acc.count()) +

@@ -1,0 +1,27 @@
+#include "est/estimator.hpp"
+
+namespace abw::est {
+
+std::string_view abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kProbeBudgetExhausted:
+      return "probe-budget";
+    case AbortReason::kDeadline:
+      return "deadline";
+    case AbortReason::kInsufficientData:
+      return "insufficient-data";
+  }
+  return "unknown";
+}
+
+Estimate Estimator::abort_estimate(AbortReason reason, std::string_view tool) {
+  std::string why(tool);
+  why += ": aborted (";
+  why += abort_reason_name(reason);
+  why += " limit exceeded before convergence)";
+  return Estimate::aborted(reason, std::move(why));
+}
+
+}  // namespace abw::est

@@ -10,6 +10,8 @@
 // closing recommendation.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -20,6 +22,31 @@ namespace abw::est {
 /// How a technique probes, per the paper's taxonomy.
 enum class ProbingClass { kDirect, kIterative };
 
+/// Why a measurement was aborted without converging.  A structured
+/// companion to Estimate::detail: callers can branch on the reason
+/// (retry on kDeadline, reduce the grid on kProbeBudgetExhausted, flag
+/// the path on kInsufficientData) without parsing strings.
+enum class AbortReason : std::uint8_t {
+  kNone = 0,               ///< not aborted (valid, or plain non-convergence)
+  kProbeBudgetExhausted,   ///< EstimatorLimits::max_probe_packets hit
+  kDeadline,               ///< EstimatorLimits::deadline passed
+  kInsufficientData,       ///< too few usable packets/streams to analyze
+};
+
+/// Human-readable name of an abort reason ("none", "probe-budget", ...).
+std::string_view abort_reason_name(AbortReason r);
+
+/// Hard resource bounds on one measurement.  Published tools are known to
+/// run unbounded under pathological conditions (heavy loss, capacity
+/// flaps); these limits guarantee termination with a structured abort
+/// instead.  0 = unlimited (the default preserves historical behavior).
+struct EstimatorLimits {
+  std::uint64_t max_probe_packets = 0;  ///< total probe packets sent (0 = no cap)
+  sim::SimTime deadline = 0;  ///< max simulated measurement time (0 = no cap)
+
+  bool any() const { return max_probe_packets > 0 || deadline > 0; }
+};
+
 /// An avail-bw estimate.  Point estimators set low == high; Pathload-style
 /// range estimators report the variation range they converged to (which
 /// the paper stresses is NOT a confidence interval for the mean).
@@ -27,14 +54,29 @@ struct Estimate {
   bool valid = false;
   double low_bps = 0.0;
   double high_bps = 0.0;
+  AbortReason abort = AbortReason::kNone;  ///< set when limits cut the run short
   probe::ProbeCost cost;  ///< probing overhead consumed by this estimate
   std::string detail;     ///< tool-specific notes (diagnostics)
 
-  /// Midpoint, the conventional single-number reading.
-  double point_bps() const { return (low_bps + high_bps) / 2.0; }
+  /// Midpoint, the conventional single-number reading.  NaN when the
+  /// estimate is invalid — an invalid measurement must never read as
+  /// "0 bits/s available" in aggregated results (it would silently drag
+  /// means and mislead plots; NaN propagates and is filterable).
+  double point_bps() const {
+    return valid ? (low_bps + high_bps) / 2.0
+                 : std::numeric_limits<double>::quiet_NaN();
+  }
 
   static Estimate invalid(std::string why) {
     Estimate e;
+    e.detail = std::move(why);
+    return e;
+  }
+
+  /// An invalid estimate carrying a structured abort reason.
+  static Estimate aborted(AbortReason reason, std::string why) {
+    Estimate e;
+    e.abort = reason;
     e.detail = std::move(why);
     return e;
   }
@@ -69,6 +111,50 @@ class Estimator {
 
   /// Which of the paper's two probing classes the tool belongs to.
   virtual ProbingClass probing_class() const = 0;
+
+  /// Installs resource bounds for subsequent estimate() calls.  Every
+  /// technique checks them between streams: when exceeded it returns an
+  /// Estimate with valid == false and the corresponding AbortReason
+  /// instead of probing on.
+  void set_limits(const EstimatorLimits& limits) { limits_ = limits; }
+  const EstimatorLimits& limits() const { return limits_; }
+
+ protected:
+  /// Per-measurement limit bookkeeping.  Construct at the top of
+  /// estimate() and call exceeded() before each stream; the baseline
+  /// subtraction makes the budget per-measurement even though
+  /// ProbeCost accumulates across a session's lifetime.
+  class LimitGuard {
+   public:
+    LimitGuard(const EstimatorLimits& limits, probe::ProbeSession& session)
+        : limits_(limits),
+          session_(session),
+          packets_at_start_(session.cost().packets),
+          start_time_(session.simulator().now()) {}
+
+    /// kNone while within bounds; otherwise the limit that tripped.
+    AbortReason exceeded() const {
+      if (limits_.max_probe_packets > 0 &&
+          session_.cost().packets - packets_at_start_ >=
+              limits_.max_probe_packets)
+        return AbortReason::kProbeBudgetExhausted;
+      if (limits_.deadline > 0 &&
+          session_.simulator().now() - start_time_ >= limits_.deadline)
+        return AbortReason::kDeadline;
+      return AbortReason::kNone;
+    }
+
+   private:
+    const EstimatorLimits& limits_;
+    probe::ProbeSession& session_;
+    std::uint64_t packets_at_start_;
+    sim::SimTime start_time_;
+  };
+
+  /// The standard abort result for a tripped guard.
+  static Estimate abort_estimate(AbortReason reason, std::string_view tool);
+
+  EstimatorLimits limits_;
 };
 
 }  // namespace abw::est

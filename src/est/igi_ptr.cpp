@@ -30,12 +30,16 @@ Estimate IgiPtr::estimate(probe::ProbeSession& session) {
   double start_rate = cfg_.initial_rate_bps > 0.0 ? cfg_.initial_rate_bps
                                                   : 0.9 * cfg_.tight_capacity_bps;
 
+  LimitGuard guard(limits_, session);
+  AbortReason abort = AbortReason::kNone;
+
   // One gap-increasing search: returns true when a turning point was
   // found, filling the per-phase estimates.
   auto search_once = [&](double& igi_out, double& ptr_out) {
     double gi = static_cast<double>(cfg_.packet_size) * 8.0 / start_rate;
     for (std::size_t train = 0; train < cfg_.max_trains;
          ++train, gi += cfg_.gap_step_fraction * gb) {
+      if ((abort = guard.exceeded()) != AbortReason::kNone) return false;
       ++trains_used_;
       double rate = static_cast<double>(cfg_.packet_size) * 8.0 / gi;
       probe::StreamSpec spec = probe::StreamSpec::periodic(
@@ -72,9 +76,15 @@ Estimate IgiPtr::estimate(probe::ProbeSession& session) {
       igis.push_back(igi);
       ptrs.push_back(ptr);
     }
+    if (abort != AbortReason::kNone) {
+      Estimate e = abort_estimate(abort, name());
+      e.cost = session.cost();
+      return e;
+    }
   }
   if (igis.empty())
-    return Estimate::invalid("igi/ptr: no turning point in any phase");
+    return Estimate::aborted(AbortReason::kInsufficientData,
+                             "igi/ptr: no turning point in any phase");
 
   last_igi_ = stats::median(igis);
   last_ptr_ = stats::median(ptrs);

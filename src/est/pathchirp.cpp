@@ -108,7 +108,13 @@ Estimate PathChirp::estimate(probe::ProbeSession& session) {
         sim::to_seconds(spec.packets[k].offset - spec.packets[k - 1].offset));
   }
 
+  LimitGuard guard(limits_, session);
   for (std::size_t c = 0; c < cfg_.chirps; ++c) {
+    if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
+      Estimate e = abort_estimate(r, name());
+      e.cost = session.cost();
+      return e;
+    }
     probe::StreamResult res = session.send_stream_now(spec, cfg_.inter_chirp_gap);
     if (!res.complete()) continue;  // chirps with loss are discarded
     double e = analyze_chirp(res.owds_seconds(), rates, gaps);
@@ -116,7 +122,8 @@ Estimate PathChirp::estimate(probe::ProbeSession& session) {
   }
 
   if (chirp_estimates_.empty())
-    return Estimate::invalid("pathchirp: no usable chirps");
+    return Estimate::aborted(AbortReason::kInsufficientData,
+                             "pathchirp: no usable chirps");
   Estimate e = Estimate::point(stats::mean(chirp_estimates_));
   e.cost = session.cost();
   e.detail = "chirps=" + std::to_string(chirp_estimates_.size());

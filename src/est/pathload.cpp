@@ -22,6 +22,9 @@ FleetVerdict Pathload::probe_fleet(probe::ProbeSession& session, double rate_bps
   std::size_t usable = 0;
 
   for (std::size_t s = 0; s < cfg_.streams_per_fleet; ++s) {
+    if (guard_ != nullptr &&
+        (abort_ = guard_->exceeded()) != AbortReason::kNone)
+      break;  // estimate() aborts right after; the verdict is discarded
     probe::StreamSpec spec = probe::StreamSpec::periodic(
         rate_bps, cfg_.packet_size, cfg_.packets_per_stream);
     probe::StreamResult res = session.send_stream_now(spec, cfg_.inter_stream_gap);
@@ -56,6 +59,10 @@ Estimate Pathload::estimate(probe::ProbeSession& session) {
   bool saw_grey = false;
   fleets_used_ = 0;
 
+  LimitGuard guard(limits_, session);
+  guard_ = &guard;
+  abort_ = AbortReason::kNone;
+
   while (fleets_used_ < cfg_.max_fleets && hi - lo > cfg_.resolution_bps) {
     // Next probing rate: bisect the undecided region.  With a grey region
     // present, bisect the wider flank around it (Pathload probes both
@@ -72,7 +79,14 @@ Estimate Pathload::estimate(probe::ProbeSession& session) {
     }
 
     ++fleets_used_;
-    switch (probe_fleet(session, rate)) {
+    FleetVerdict verdict = probe_fleet(session, rate);
+    if (abort_ != AbortReason::kNone) {
+      guard_ = nullptr;
+      Estimate e = abort_estimate(abort_, name());
+      e.cost = session.cost();
+      return e;
+    }
+    switch (verdict) {
       case FleetVerdict::kAboveAvailBw:
         hi = rate;
         if (saw_grey) grey_hi = std::min(grey_hi, rate);
@@ -96,6 +110,8 @@ Estimate Pathload::estimate(probe::ProbeSession& session) {
       grey_hi = std::clamp(grey_hi, lo, hi);
     }
   }
+
+  guard_ = nullptr;
 
   // Report the variation range: the grey region widened to the final
   // bracket edges when they are tighter than the initial bracket.

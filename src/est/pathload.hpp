@@ -56,6 +56,12 @@ class Pathload final : public Estimator {
  private:
   PathloadConfig cfg_;
   std::size_t fleets_used_ = 0;
+  // Limit bookkeeping for the estimate() in progress: probe_fleet checks
+  // the guard between streams so a budget/deadline trips mid-fleet, not
+  // only at fleet boundaries.  Null when probe_fleet is called directly
+  // (the ablation bench) — then behavior is unchanged.
+  const LimitGuard* guard_ = nullptr;
+  AbortReason abort_ = AbortReason::kNone;
 };
 
 }  // namespace abw::est

@@ -51,14 +51,22 @@ Estimate SChirp::estimate(probe::ProbeSession& session) {
   }
 
   std::vector<double> per_chirp;
+  LimitGuard guard(limits_, session);
   for (std::size_t c = 0; c < cc.chirps; ++c) {
+    if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
+      Estimate e = abort_estimate(r, name());
+      e.cost = session.cost();
+      return e;
+    }
     probe::StreamResult res = session.send_stream_now(spec, cc.inter_chirp_gap);
     if (!res.complete()) continue;
     std::vector<double> owds = smooth(res.owds_seconds(), cfg_.smooth_window);
     double e = inner_.analyze_chirp(owds, rates, gaps);
     if (e > 0.0) per_chirp.push_back(e);
   }
-  if (per_chirp.empty()) return Estimate::invalid("schirp: no usable chirps");
+  if (per_chirp.empty())
+    return Estimate::aborted(AbortReason::kInsufficientData,
+                             "schirp: no usable chirps");
   // Median across chirps: single-chirp excursion analysis is noisy in
   // both directions (spurious early onsets, missed final excursions), and
   // the robust-location spirit of the smoothed variant extends naturally

@@ -21,8 +21,17 @@ Estimate Spruce::estimate(probe::ProbeSession& session) {
   samples_.reserve(cfg_.pair_count);
 
   // One long pair-train stream: pairs at rate Ct, exponential spacing.
+  // A probe budget trims the train up front (the single stream is the
+  // whole measurement, so there is no between-stream point to abort at).
+  std::size_t pairs = cfg_.pair_count;
+  if (limits_.max_probe_packets > 0)
+    pairs = std::min<std::size_t>(
+        pairs, static_cast<std::size_t>(limits_.max_probe_packets / 2));
+  if (pairs == 0)
+    return Estimate::aborted(AbortReason::kProbeBudgetExhausted,
+                             "spruce: probe budget below one pair");
   probe::StreamSpec spec = probe::StreamSpec::pair_train(
-      cfg_.tight_capacity_bps, cfg_.packet_size, cfg_.pair_count,
+      cfg_.tight_capacity_bps, cfg_.packet_size, pairs,
       cfg_.mean_pair_gap, rng_);
   probe::StreamResult res = session.send_stream_now(spec);
 
@@ -39,7 +48,9 @@ Estimate Spruce::estimate(probe::ProbeSession& session) {
     samples_.push_back(std::clamp(sample, 0.0, cfg_.tight_capacity_bps));
   }
 
-  if (samples_.empty()) return Estimate::invalid("spruce: all pairs lost");
+  if (samples_.empty())
+    return Estimate::aborted(AbortReason::kInsufficientData,
+                             "spruce: all pairs lost");
   Estimate e = Estimate::point(stats::mean(samples_));
   e.cost = session.cost();
   e.detail = "pairs=" + std::to_string(samples_.size());

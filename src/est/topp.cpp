@@ -21,8 +21,14 @@ Estimate Topp::estimate(probe::ProbeSession& session) {
   curve_.clear();
   est_capacity_ = 0.0;
 
+  LimitGuard guard(limits_, session);
   for (double rate = cfg_.min_rate_bps; rate <= cfg_.max_rate_bps;
        rate += cfg_.rate_step_bps) {
+    if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
+      Estimate e = abort_estimate(r, name());
+      e.cost = session.cost();
+      return e;
+    }
     probe::StreamSpec spec = probe::StreamSpec::pair_train(
         rate, cfg_.packet_size, cfg_.pairs_per_rate, cfg_.mean_pair_gap, rng_);
     probe::StreamResult res = session.send_stream_now(spec);
@@ -43,7 +49,8 @@ Estimate Topp::estimate(probe::ProbeSession& session) {
   }
 
   if (curve_.size() < 6)
-    return Estimate::invalid("topp: sweep produced too little data");
+    return Estimate::aborted(AbortReason::kInsufficientData,
+                             "topp: sweep produced too little data");
 
   // Segmented (two-piece) regression, as in Melander et al.: below the
   // turning point Ri/Ro is flat (~1 plus a packet-granularity floor);

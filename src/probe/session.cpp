@@ -53,6 +53,7 @@ StreamResult ProbeSession::send_stream(const StreamSpec& spec, sim::SimTime star
 
   active_ = &result;
   received_ = 0;
+  highest_seq_seen_ = -1;
 
   // Hybrid mode: bracket the stream with a packet window so every link's
   // cross traffic is discrete while probes are in flight (sim/hybrid.hpp).
@@ -82,8 +83,19 @@ void ProbeSession::on_probe(const sim::Packet& pkt, sim::SimTime now) {
   if (active_ == nullptr || pkt.stream_id != active_->stream_id) return;  // stale
   if (pkt.seq >= active_->packets.size()) return;
   ProbeRecord& rec = active_->packets[pkt.seq];
-  if (!rec.lost) return;  // duplicate (cannot happen with current links)
+  if (!rec.lost) {
+    // Fault-injected duplicate: the seq already arrived.  Count it (the
+    // stream is degraded) but keep the first copy's timestamp — real
+    // receivers dedup by seq the same way.
+    ++active_->duplicate_count;
+    return;
+  }
   rec.lost = false;
+  // First arrival behind a higher seq = this packet was reordered.
+  if (static_cast<std::int64_t>(pkt.seq) < highest_seq_seen_)
+    ++active_->reordered_count;
+  else
+    highest_seq_seen_ = static_cast<std::int64_t>(pkt.seq);
   // Timestamp against the (possibly unsynchronized, noisy) receiver clock.
   sim::SimTime stamp =
       now + clock_.offset +

@@ -107,6 +107,7 @@ class ProbeSession {
   // In-flight stream state (one stream at a time, like real tools).
   StreamResult* active_ = nullptr;
   std::size_t received_ = 0;
+  std::int64_t highest_seq_seen_ = -1;  // reordering detection (-1 = none)
 
   ProbeCost cost_;
 };

@@ -24,11 +24,34 @@ struct StreamResult {
   std::uint32_t stream_id = 0;
   std::vector<ProbeRecord> packets;  ///< ordered by seq
 
+  // Impairment accounting (filled by the receiving ProbeSession).  Real
+  // tools must cope with these — they are what fault-injected links
+  // (sim/fault.hpp) stress: duplicates arrive for already-received
+  // sequence numbers, reordered packets arrive behind higher seqs.
+  std::uint32_t duplicate_count = 0;  ///< arrivals for an already-seen seq
+  std::uint32_t reordered_count = 0;  ///< first arrivals behind a higher seq
+
   /// Number of packets that never arrived.
   std::size_t lost_count() const;
 
+  /// Number of packets that arrived (packets.size() - lost_count()).
+  std::size_t received_count() const { return packets.size() - lost_count(); }
+
+  /// Fraction of the stream lost, in [0, 1]; 0 for an empty stream.
+  double loss_fraction() const {
+    return packets.empty() ? 0.0
+                           : static_cast<double>(lost_count()) /
+                                 static_cast<double>(packets.size());
+  }
+
   /// True when every packet arrived.
   bool complete() const { return lost_count() == 0; }
+
+  /// True when the stream saw any loss, duplication, or reordering —
+  /// estimators use this to flag degraded measurements.
+  bool impaired() const {
+    return duplicate_count > 0 || reordered_count > 0 || lost_count() > 0;
+  }
 
   /// Input rate Ri: bits after the first packet / send span.  0 if fewer
   /// than two packets were sent.

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,26 @@ std::uint64_t splitmix64(std::uint64_t x);
 /// Deterministic per-task seed: splitmix64 of `base_seed ^ task_index`
 /// (with the index pre-mixed so low-entropy bases still decorrelate).
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Bounded retry of failed grid cells (map_cells).  Each retry reruns the
+/// cell's function with the next attempt number; seeded variants derive a
+/// fresh deterministic seed per attempt, so a retry is a *different*
+/// random replication, not a replay of the failing one.
+struct RetryPolicy {
+  std::size_t max_retries = 0;  ///< extra attempts after the first (0 = none)
+};
+
+/// Outcome of one grid cell under map_cells: a result or the error that
+/// killed its final attempt — never an exception.  One pathological cell
+/// (an estimator crashing under fault injection, a misconfigured
+/// scenario) must not discard the rest of a sweep's completed work.
+template <typename R>
+struct CellResult {
+  R value{};                   ///< meaningful only when ok
+  bool ok = false;             ///< the cell produced a value
+  std::string error;           ///< what() of the last failed attempt
+  std::uint32_t attempts = 0;  ///< total attempts made (>= 1)
+};
 
 /// Executes batches of independent tasks across a fixed-size ThreadPool.
 /// Jobs-count CLI/env parsing lives in runner/cli.hpp.
@@ -80,6 +101,56 @@ class BatchRunner {
   auto map_seeded(std::size_t count, std::uint64_t base_seed, Fn&& fn)
       -> std::vector<decltype(fn(std::size_t{0}, std::uint64_t{0}))> {
     return map(count, [&](std::size_t i) { return fn(i, derive_seed(base_seed, i)); });
+  }
+
+  /// Fault-tolerant `map`: runs `fn(i, attempt)` for every cell, catching
+  /// exceptions instead of rethrowing them, and returns one CellResult
+  /// per cell in index order.  A throwing attempt is retried up to
+  /// `retry.max_retries` times; the error string records the final
+  /// attempt's failure.  Successful cells compute exactly what map()
+  /// would (fn sees attempt == 0), so aggregation over the ok cells is
+  /// bit-identical whether or not other cells failed.
+  template <typename Fn>
+  auto map_cells(std::size_t count, Fn&& fn, RetryPolicy retry = {})
+      -> std::vector<CellResult<decltype(fn(std::size_t{0}, std::size_t{0}))>> {
+    using R = decltype(fn(std::size_t{0}, std::size_t{0}));
+    return map(count, [&](std::size_t i) {
+      CellResult<R> cell;
+      for (std::size_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
+        ++cell.attempts;
+        try {
+          cell.value = fn(i, attempt);
+          cell.ok = true;
+          cell.error.clear();
+          break;
+        } catch (const std::exception& e) {
+          cell.error = e.what();
+        } catch (...) {
+          cell.error = "non-standard exception";
+        }
+      }
+      return cell;
+    });
+  }
+
+  /// Seeded fault-tolerant map.  Attempt 0 of cell i runs under
+  /// derive_seed(base_seed, i) — the same seed map_seeded would hand it,
+  /// keeping successful first-attempt cells bit-identical to a plain
+  /// seeded sweep.  Retry attempt a > 0 runs under
+  /// derive_seed(derive_seed(base_seed, i), a): a fresh deterministic
+  /// replication seed, reproducible across runs and thread counts.
+  template <typename Fn>
+  auto map_cells_seeded(std::size_t count, std::uint64_t base_seed, Fn&& fn,
+                        RetryPolicy retry = {})
+      -> std::vector<CellResult<decltype(fn(std::size_t{0}, std::uint64_t{0}))>> {
+    return map_cells(
+        count,
+        [&](std::size_t i, std::size_t attempt) {
+          std::uint64_t seed = derive_seed(base_seed, i);
+          if (attempt > 0) seed = derive_seed(seed, attempt);
+          return fn(i, seed);
+        },
+        retry);
   }
 
  private:

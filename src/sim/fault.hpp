@@ -1,0 +1,150 @@
+// Fault injection: impairments the paper's pitfalls are made of.
+//
+// Real paths are not the static, lossless FIFO chains the estimation
+// models assume — avail-bw is non-stationary (links flap, capacity is
+// renegotiated), loss is bursty (Gilbert–Elliott, not Bernoulli), and
+// packets get reordered and duplicated in the wild.  This layer injects
+// exactly those impairments, seed-deterministically, so every estimator
+// can be driven through the conditions under which published tools are
+// known to hang, crash, or emit garbage (Ait Ali et al.'s comparative
+// evaluation) — and be tested to degrade gracefully instead.
+//
+// Two kinds of impairment:
+//
+//  * per-packet faults (LinkFaults): a Gilbert–Elliott bursty-loss chain
+//    alongside the existing Bernoulli LinkConfig::random_loss_prob,
+//    bounded reordering (extra per-packet delivery delay), and duplicate
+//    injection — installed on a Link with Link::set_faults();
+//
+//  * time-scheduled link dynamics: capacity changes and down/up flaps
+//    mid-run, driven by the FaultInjector through Link::set_capacity()
+//    (which re-plans the in-service packet and keeps the ground-truth
+//    meter exact across the change).
+//
+// All of it is mutually exclusive with the hybrid fluid fast path, the
+// same way RED and random loss are: the fluid integrator cannot
+// reproduce per-packet RNG draws or mid-run capacity steps analytically.
+// Zero-cost / zero-behavior-change when unused: a link with no faults
+// installed and no capacity change executes the exact packet-mode path
+// (golden determinism digests unchanged).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/rng.hpp"
+
+namespace abw::sim {
+
+class Link;
+class Simulator;
+
+/// Gilbert–Elliott two-state bursty loss.  The chain advances one step
+/// per arriving packet; the packet is then dropped with the current
+/// state's loss probability.  Mean burst length is 1/p_bad_good packets;
+/// the stationary loss rate (with loss_good = 0, loss_bad = 1) is
+/// p_good_bad / (p_good_bad + p_bad_good).
+struct GilbertElliott {
+  double p_good_bad = 0.0;  ///< per-packet good->bad transition probability
+  double p_bad_good = 0.0;  ///< per-packet bad->good transition probability
+  double loss_good = 0.0;   ///< loss probability while in the good state
+  double loss_bad = 1.0;    ///< loss probability while in the bad state
+
+  bool enabled() const { return p_good_bad > 0.0; }
+};
+
+/// Per-packet fault configuration of one link.  Install with
+/// Link::set_faults(); all draws come from a dedicated RNG stream seeded
+/// by `seed`, so enabling faults never perturbs the link's loss/RED RNG
+/// sequence and runs are exactly reproducible.
+struct LinkFaults {
+  GilbertElliott gilbert;      ///< bursty loss (off by default)
+  /// Probability that a departing packet is held back by an extra
+  /// delivery delay drawn uniformly from (0, reorder_extra_max] — packets
+  /// transmitted behind it can then overtake it (bounded reordering).
+  double reorder_prob = 0.0;
+  SimTime reorder_extra_max = 2 * kMillisecond;  ///< reordering bound
+  /// Probability that an arriving packet is enqueued twice.  The copy
+  /// consumes transmission capacity like any packet (it is accounted in
+  /// the ground-truth meter) and reaches the receiver as a duplicate.
+  double duplicate_prob = 0.0;
+  std::uint64_t seed = 0xFA177;  ///< RNG seed for all fault draws
+
+  bool any() const {
+    return gilbert.enabled() || reorder_prob > 0.0 || duplicate_prob > 0.0;
+  }
+};
+
+/// Runtime state of a link's fault processes (chain state + RNG stream).
+/// Owned by the Link; heap-allocated only when faults are installed so
+/// the no-fault hot path pays a single null check.
+struct FaultState {
+  explicit FaultState(const LinkFaults& cfg_in)
+      : cfg(cfg_in), rng(cfg_in.seed) {}
+
+  /// Advances the Gilbert–Elliott chain one packet and decides a drop.
+  bool ge_drop() {
+    const GilbertElliott& g = cfg.gilbert;
+    if (!g.enabled()) return false;
+    if (bad) {
+      if (rng.bernoulli(g.p_bad_good)) bad = false;
+    } else {
+      if (rng.bernoulli(g.p_good_bad)) bad = true;
+    }
+    double p = bad ? g.loss_bad : g.loss_good;
+    return p > 0.0 && rng.bernoulli(p);
+  }
+
+  /// Decides whether an arriving packet is duplicated.
+  bool duplicate() {
+    return cfg.duplicate_prob > 0.0 && rng.bernoulli(cfg.duplicate_prob);
+  }
+
+  /// Extra delivery delay for a departing packet: 0 for most packets,
+  /// uniform in (0, reorder_extra_max] with probability reorder_prob.
+  SimTime reorder_extra() {
+    if (cfg.reorder_prob <= 0.0 || !rng.bernoulli(cfg.reorder_prob)) return 0;
+    return rng.uniform_int(1, cfg.reorder_extra_max);
+  }
+
+  LinkFaults cfg;
+  stats::Rng rng;
+  bool bad = false;  ///< current Gilbert–Elliott state
+};
+
+/// Schedules time-driven link dynamics (capacity changes / flaps) on the
+/// simulator clock.  Purely a scheduling convenience over
+/// Link::set_capacity(); per-packet faults go through Link::set_faults()
+/// directly.  All methods must be called before the simulation advances
+/// past their trigger times.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Sets `link`'s capacity to `bps` at absolute sim time `t`.  Marks the
+  /// link as dynamic immediately, so a later enable_fluid() is rejected
+  /// even before the change fires; throws right away if the link already
+  /// runs fluid.
+  void set_capacity_at(Link& link, SimTime t, double bps);
+
+  /// A down/up flap: capacity drops to `down_bps` at `t` and recovers to
+  /// its pre-flap value after `duration`.
+  void flap(Link& link, SimTime t, SimTime duration, double down_bps);
+
+  /// Installs per-packet faults on `link` (forwarding to
+  /// Link::set_faults; kept here so one object wires a whole scenario).
+  void set_link_faults(Link& link, const LinkFaults& faults);
+
+  /// Number of capacity-change events scheduled so far.
+  std::size_t scheduled_changes() const { return scheduled_; }
+
+ private:
+  Simulator& sim_;
+  std::size_t scheduled_ = 0;
+};
+
+}  // namespace abw::sim

@@ -1,5 +1,6 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -38,6 +39,25 @@ void Link::handle(Packet pkt) {
     ++stats_.packets_lost;
     return;
   }
+  if (faults_) {
+    if (faults_->ge_drop()) {
+      ++stats_.packets_lost;
+      ++stats_.packets_ge_lost;
+      return;
+    }
+    if (faults_->duplicate()) {
+      // The copy is a second, independent arrival at the queue: it runs
+      // its own RED / queue-limit admission and, when admitted, consumes
+      // transmission capacity like any packet (so the ground-truth meter
+      // sees it).  Not counted in packets_in/bytes_in — it never arrived.
+      ++stats_.packets_duplicated;
+      admit(pkt);
+    }
+  }
+  admit(pkt);
+}
+
+void Link::admit(const Packet& pkt) {
   if (cfg_.discipline == QueueDiscipline::kRed && red_drop(pkt.size_bytes)) {
     ++stats_.packets_red_dropped;
     return;
@@ -80,11 +100,17 @@ void Link::begin_transmission(const Packet& pkt) {
   SimTime start = sim_.now();
   SimTime done = start + memo_tx_time_;
   meter_.add_busy(start, done, pkt.measurement);
+  tx_start_ = start;
+  tx_bits_left_ = 8.0 * static_cast<double>(pkt.size_bytes);
 
-  // The single recurring transmit event: an 8-byte [this] capture, stored
-  // inline in the pooled queue.  tx_pkt_ is stable until this fires —
-  // handle() never starts a transmission while transmitting_ is set.
-  sim_.at(done, [this] { finish_transmission(); });
+  // The single recurring transmit event: a 16-byte capture, stored inline
+  // in the pooled queue.  tx_pkt_ is stable until this fires — handle()
+  // never starts a transmission while transmitting_ is set.  The epoch
+  // guard ignores a completion event stranded by a capacity re-plan.
+  std::uint64_t epoch = ++tx_epoch_;
+  sim_.at(done, [this, epoch] {
+    if (epoch == tx_epoch_) finish_transmission();
+  });
 }
 
 void Link::finish_transmission() {
@@ -95,12 +121,21 @@ void Link::finish_transmission() {
   // Deliver after propagation; capture by value so the packet survives
   // (several deliveries can be in flight at once along the propagation
   // pipe — each closure owns its copy, and the capture fits inline).
+  // Fault-injected reordering adds a bounded extra delivery delay here:
+  // packets transmitted behind this one can then overtake it in flight.
   PacketHandler* next = next_;
-  if (cfg_.propagation_delay == 0) {
+  SimTime delay = cfg_.propagation_delay;
+  if (faults_) {
+    SimTime extra = faults_->reorder_extra();
+    if (extra > 0) {
+      ++stats_.packets_reordered;
+      delay += extra;
+    }
+  }
+  if (delay == 0) {
     next->handle(tx_pkt_);  // by-value: the callee owns its copy
   } else {
-    sim_.after(cfg_.propagation_delay,
-               [next, pkt = tx_pkt_]() mutable { next->handle(pkt); });
+    sim_.after(delay, [next, pkt = tx_pkt_]() mutable { next->handle(pkt); });
   }
   start_transmission();
 }
@@ -119,6 +154,73 @@ bool Link::red_drop(std::uint32_t size_bytes) {
   return loss_rng_.bernoulli(frac * red.max_drop_prob);
 }
 
+void Link::set_faults(const LinkFaults& faults) {
+  if (fluid_)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support fault injection "
+                           "(per-packet fault RNG draws cannot be reproduced "
+                           "analytically)");
+  if (faults.gilbert.p_good_bad < 0.0 || faults.gilbert.p_good_bad > 1.0 ||
+      faults.gilbert.p_bad_good < 0.0 || faults.gilbert.p_bad_good > 1.0 ||
+      faults.gilbert.loss_good < 0.0 || faults.gilbert.loss_good > 1.0 ||
+      faults.gilbert.loss_bad < 0.0 || faults.gilbert.loss_bad > 1.0)
+    throw std::invalid_argument("Link '" + name_ +
+                                "': Gilbert-Elliott probabilities must be in "
+                                "[0,1]");
+  if (faults.reorder_prob < 0.0 || faults.reorder_prob > 1.0 ||
+      faults.duplicate_prob < 0.0 || faults.duplicate_prob > 1.0)
+    throw std::invalid_argument(
+        "Link '" + name_ + "': fault probabilities must be in [0,1]");
+  if (faults.reorder_prob > 0.0 && faults.reorder_extra_max <= 0)
+    throw std::invalid_argument("Link '" + name_ +
+                                "': reorder_extra_max must be > 0");
+  if (faults.any())
+    faults_ = std::make_unique<FaultState>(faults);
+  else
+    faults_.reset();  // any()==false removes installed faults
+}
+
+void Link::expect_capacity_dynamics() {
+  if (fluid_)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support capacity "
+                           "dynamics (the analytic integration assumes a "
+                           "constant serialization rate)");
+  capacity_dynamic_ = true;
+}
+
+void Link::set_capacity(double bps) {
+  if (bps <= 0.0)
+    throw std::invalid_argument("Link '" + name_ + "': capacity must be > 0");
+  expect_capacity_dynamics();  // rejects fluid links, marks dynamic
+  const SimTime now = sim_.now();
+  const double old_bps = cfg_.capacity_bps;
+  cfg_.capacity_bps = bps;
+  // Invalidate the serialization-time memo (bytes=0 maps to time 0, which
+  // matches transmission_time(0) at any rate) and record the step in the
+  // meter's capacity timeline so ground truth integrates C(t) exactly.
+  memo_tx_bytes_ = 0;
+  memo_tx_time_ = 0;
+  meter_.set_capacity(now, bps);
+  ++stats_.capacity_changes;
+  if (!transmitting_) return;
+
+  // Re-plan the in-service packet: bits serialized so far stay sent, the
+  // remainder continues at the new rate.  The stranded completion event
+  // is invalidated by bumping the epoch; the packet's busy interval is
+  // amended in place to the new completion time.
+  const double sent = to_seconds(now - tx_start_) * old_bps;
+  tx_bits_left_ = std::max(tx_bits_left_ - sent, 0.0);
+  tx_start_ = now;
+  const SimTime new_done =
+      now + std::max<SimTime>(from_seconds(tx_bits_left_ / bps), 1);
+  meter_.amend_last_end(new_done);
+  std::uint64_t epoch = ++tx_epoch_;
+  sim_.at(new_done, [this, epoch] {
+    if (epoch == tx_epoch_) finish_transmission();
+  });
+}
+
 FluidQueue& Link::enable_fluid() {
   if (cfg_.discipline == QueueDiscipline::kRed)
     throw std::logic_error("Link '" + name_ +
@@ -127,6 +229,16 @@ FluidQueue& Link::enable_fluid() {
   if (cfg_.random_loss_prob > 0.0)
     throw std::logic_error("Link '" + name_ +
                            "': hybrid mode does not support random loss");
+  if (faults_)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support fault injection "
+                           "(per-packet fault RNG draws cannot be reproduced "
+                           "analytically)");
+  if (capacity_dynamic_)
+    throw std::logic_error("Link '" + name_ +
+                           "': hybrid mode does not support capacity "
+                           "dynamics (the analytic integration assumes a "
+                           "constant serialization rate)");
   if (fluid_)
     throw std::logic_error("Link '" + name_ +
                            "': fluid already enabled (one source per link)");

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/fault.hpp"
 #include "sim/packet.hpp"
 #include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
@@ -53,9 +54,16 @@ struct LinkStats {
   std::uint64_t packets_out = 0;
   std::uint64_t packets_dropped = 0;  ///< queue-overflow (congestion) drops
   std::uint64_t packets_red_dropped = 0;  ///< RED early drops
-  std::uint64_t packets_lost = 0;     ///< random (non-congestion) losses
+  std::uint64_t packets_lost = 0;     ///< random (non-congestion) losses,
+                                      ///< Bernoulli AND Gilbert–Elliott
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  // Fault-injection accounting (sim/fault.hpp); all zero on clean links.
+  std::uint64_t packets_ge_lost = 0;  ///< Gilbert–Elliott share of packets_lost
+  std::uint64_t packets_duplicated = 0;  ///< injected duplicates (each also
+                                         ///< counted in packets_out when sent)
+  std::uint64_t packets_reordered = 0;   ///< departures given extra delay
+  std::uint64_t capacity_changes = 0;    ///< set_capacity() calls applied
 };
 
 /// A unidirectional store-and-forward link.  Packets handed to `handle()`
@@ -133,11 +141,43 @@ class Link final : public PacketHandler {
     fluid_interrupt_ = std::move(cb);
   }
 
+  // --- fault injection (see sim/fault.hpp) -------------------------------
+  // Impairments are mutually exclusive with the hybrid fluid fast path,
+  // exactly like RED and random loss: analytic integration cannot
+  // reproduce per-packet RNG draws or mid-run capacity steps.  With no
+  // faults installed and no capacity change the packet-mode behavior is
+  // bit-identical to a build without this layer.
+
+  /// Installs per-packet faults (Gilbert–Elliott bursty loss, bounded
+  /// reordering, duplication).  A config with any() == false removes
+  /// previously installed faults.  Throws if the link runs fluid.
+  void set_faults(const LinkFaults& faults);
+
+  /// The installed fault configuration, or nullptr when none.
+  const LinkFaults* faults() const { return faults_ ? &faults_->cfg : nullptr; }
+
+  /// Changes the link capacity effective now.  The in-service packet is
+  /// re-planned (its remaining bits continue at the new rate, its busy
+  /// interval is amended in the meter), the serialization-time memo is
+  /// invalidated, and the step is recorded in the meter's capacity
+  /// timeline so ground-truth avail-bw stays exact across the change.
+  /// Throws if the link runs fluid.
+  void set_capacity(double bps);
+
+  /// Marks the link capacity-dynamic ahead of a scheduled change, so
+  /// enable_fluid() is rejected while the change is still pending.
+  /// Throws if the link already runs fluid.
+  void expect_capacity_dynamics();
+
+  /// True once a capacity change was applied or scheduled.
+  bool capacity_dynamic() const { return capacity_dynamic_; }
+
  private:
   friend class FluidQueue;
   void start_transmission();                   // pull the next queued packet
   void begin_transmission(const Packet& pkt);  // serialize + arm the event
   void finish_transmission();  // the link's single recurring tx event
+  void admit(const Packet& pkt);  // RED / queue-limit admission + enqueue
   bool red_drop(std::uint32_t size_bytes);  // RED admission decision
 
   Simulator& sim_;
@@ -146,12 +186,18 @@ class Link final : public PacketHandler {
   PacketHandler* next_ = nullptr;
 
   // The transmit loop self-drives through ONE event at a time: the packet
-  // being serialized sits in tx_pkt_ and the scheduled [this] completion
-  // thunk re-arms itself from the ring queue — no per-packet closure.
+  // being serialized sits in tx_pkt_ and the scheduled completion thunk
+  // re-arms itself from the ring queue — no per-packet closure.  The
+  // thunk captures tx_epoch_; a capacity change re-plans the in-service
+  // packet by bumping the epoch and arming a new completion event, which
+  // strands the old one (there is no scheduler cancel).
   RingQueue<Packet> queue_;
   Packet tx_pkt_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
+  SimTime tx_start_ = 0;        // when the in-service packet (re)started
+  double tx_bits_left_ = 0.0;   // bits of it still unserialized at tx_start_
+  std::uint64_t tx_epoch_ = 0;  // invalidates stale completion events
   // Last (size -> serialization time) pair; bytes=0 maps to time 0, which
   // matches transmission_time(0), so the empty memo is consistent.
   std::uint32_t memo_tx_bytes_ = 0;
@@ -166,6 +212,12 @@ class Link final : public PacketHandler {
   std::unique_ptr<FluidQueue> fluid_;  // hybrid mode only
   bool fluid_active_ = false;
   std::function<void()> fluid_interrupt_;
+
+  // Fault injection: allocated only when faults are installed, so the
+  // clean hot path pays one null check in handle() and one in
+  // finish_transmission().
+  std::unique_ptr<FaultState> faults_;
+  bool capacity_dynamic_ = false;  // a capacity change applied or pending
 };
 
 }  // namespace abw::sim

@@ -53,12 +53,75 @@ double UtilizationMeter::utilization(SimTime t1, SimTime t2) const {
   return static_cast<double>(busy_time(t1, t2)) / static_cast<double>(t2 - t1);
 }
 
+void UtilizationMeter::set_capacity(SimTime t, double bps) {
+  if (bps <= 0.0)
+    throw std::invalid_argument("UtilizationMeter: capacity must be > 0");
+  if (!caps_.empty() && t < caps_.back().first)
+    throw std::logic_error("UtilizationMeter: capacity steps out of order");
+  caps_.emplace_back(t, bps);
+}
+
+double UtilizationMeter::capacity_at(SimTime t) const {
+  double c = capacity_bps_;
+  for (const auto& [at, bps] : caps_) {
+    if (at > t) break;
+    c = bps;
+  }
+  return c;
+}
+
+void UtilizationMeter::amend_last_end(SimTime new_end) {
+  if (iv_.empty())
+    throw std::logic_error("UtilizationMeter: no interval to amend");
+  Interval& last = iv_.back();
+  if (new_end <= last.start)
+    throw std::logic_error("UtilizationMeter: amended end before start");
+  bool meas = is_meas(iv_.size() - 1);  // before touching the prefix sums
+  SimTime delta = new_end - last.end;
+  last.end = new_end;
+  last.cum_busy += delta;
+  if (meas) last.cum_meas += delta;
+}
+
+template <typename F>
+void UtilizationMeter::for_each_capacity_segment(SimTime t1, SimTime t2,
+                                                 F&& f) const {
+  SimTime s = t1;
+  double c = capacity_bps_;
+  for (const auto& [at, bps] : caps_) {
+    if (at <= s) {
+      c = bps;  // step already in effect at the segment cursor
+      continue;
+    }
+    if (at >= t2) break;
+    f(s, at, c);
+    s = at;
+    c = bps;
+  }
+  if (s < t2) f(s, t2, c);
+}
+
+double UtilizationMeter::free_bits(SimTime t1, SimTime t2,
+                                   bool exclude_measurement) const {
+  double bits = 0.0;
+  for_each_capacity_segment(t1, t2, [&](SimTime s1, SimTime s2, double c) {
+    SimTime busy = busy_time(s1, s2);
+    if (exclude_measurement) busy -= measurement_busy_time(s1, s2);
+    bits += c * to_seconds((s2 - s1) - busy);
+  });
+  return bits;
+}
+
 double UtilizationMeter::avail_bw(SimTime t1, SimTime t2) const {
-  return capacity_bps_ * (1.0 - utilization(t1, t2));
+  if (caps_.empty()) return capacity_bps_ * (1.0 - utilization(t1, t2));
+  if (t2 <= t1) throw std::invalid_argument("utilization: empty window");
+  return free_bits(t1, t2, /*exclude_measurement=*/false) / to_seconds(t2 - t1);
 }
 
 double UtilizationMeter::cross_avail_bw(SimTime t1, SimTime t2) const {
   if (t2 <= t1) throw std::invalid_argument("cross_avail_bw: empty window");
+  if (!caps_.empty())
+    return free_bits(t1, t2, /*exclude_measurement=*/true) / to_seconds(t2 - t1);
   SimTime cross_busy = busy_time(t1, t2) - measurement_busy_time(t1, t2);
   double u = static_cast<double>(cross_busy) / static_cast<double>(t2 - t1);
   return capacity_bps_ * (1.0 - u);
@@ -71,6 +134,17 @@ std::vector<double> UtilizationMeter::avail_bw_series(SimTime t0, SimTime t1,
   std::vector<double> out;
   if (t0 + tau > t1) return out;
   out.reserve(static_cast<std::size_t>((t1 - t0) / tau));
+
+  if (!caps_.empty()) {
+    // Capacity-dynamic link (fault injection): per-window queries handle
+    // windows straddling a capacity step exactly; the two-pointer sweep
+    // below assumes one constant capacity.  Faulted runs are rare and
+    // short — correctness over speed here.
+    for (SimTime t = t0; t + tau <= t1; t += tau)
+      out.push_back(exclude_measurement ? cross_avail_bw(t, t + tau)
+                                        : avail_bw(t, t + tau));
+    return out;
+  }
 
   // Consecutive windows have monotonically increasing bounds, so the
   // binary searches of window_range collapse to two pointers that only

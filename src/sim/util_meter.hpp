@@ -87,6 +87,27 @@ class UtilizationMeter {
   /// stays allocation-free below that count (steady-state hot path).
   void reserve(std::size_t n);
 
+  /// Records a capacity change effective at `t` (fault injection: link
+  /// dynamics / flaps).  Steps must arrive in time order.  With any step
+  /// recorded, avail-bw queries integrate the piecewise-constant C(t)
+  /// exactly:  A(t1, t2) = (1/(t2-t1)) * sum_k C_k * idle_time_in_seg_k.
+  /// Without steps the original single-capacity arithmetic runs
+  /// unchanged (bit-identical to pre-fault builds).
+  void set_capacity(SimTime t, double bps);
+
+  /// Capacity in effect at time `t` (construction value before any step).
+  double capacity_at(SimTime t) const;
+
+  /// Number of recorded capacity steps (0 = static link).
+  std::size_t capacity_step_count() const { return caps_.size(); }
+
+  /// Moves the end of the most recent busy interval to `new_end`
+  /// (shrinking or extending it), fixing its prefix sums.  Used when a
+  /// capacity change re-plans the in-service packet: its busy interval
+  /// was recorded with the old completion time and must be corrected in
+  /// place.  `new_end` must stay after the interval's start.
+  void amend_last_end(SimTime new_end);
+
   /// Capacity this meter was constructed with (bits/s).
   double capacity_bps() const { return capacity_bps_; }
 
@@ -119,10 +140,22 @@ class UtilizationMeter {
   /// Cold path of add_busy(): throws the matching exception.
   [[noreturn]] void fail_add_busy(bool overlap) const;
 
+  /// Invokes f(seg_start, seg_end, capacity_bps) for each constant-
+  /// capacity segment of [t1, t2), in time order.
+  template <typename F>
+  void for_each_capacity_segment(SimTime t1, SimTime t2, F&& f) const;
+
+  /// Free bits (capacity minus counted busy time, integrated over the
+  /// piecewise-constant C(t)) in [t1, t2).  `exclude_measurement` counts
+  /// only cross-traffic busy time against the capacity.
+  double free_bits(SimTime t1, SimTime t2, bool exclude_measurement) const;
+
   double capacity_bps_;
   // Sorted by start; intervals are disjoint, enabling binary-search
   // queries.
   std::vector<Interval> iv_;
+  // Capacity steps (time, bps), time-ordered; empty for static links.
+  std::vector<std::pair<SimTime, double>> caps_;
 };
 
 }  // namespace abw::sim
