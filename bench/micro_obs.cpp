@@ -1,0 +1,142 @@
+// Micro-benchmarks of the observability layer (google-benchmark): the
+// same steady-state two-hop forwarding workload as micro_sim's
+// BM_LinkForwarding, run three ways —
+//
+//   * BM_ForwardTraceOff:   no sink attached (the default).  This is the
+//     configuration the golden digests and BENCH_core gate run in; the
+//     per-event cost of observability here is one null-pointer branch.
+//   * BM_ForwardNullSink:   a NullTraceSink attached to every link.  Adds
+//     one virtual call per event but no formatting or I/O — the floor for
+//     any real sink.
+//   * BM_ForwardJsonlSink:  a JsonlTraceSink writing to a discarding
+//     streambuf.  Full event formatting without filesystem noise — the
+//     honest cost of `--trace=FILE` minus the disk.
+//
+// Plus BM_MetricsRegistryLookup for the name->counter map the snapshot
+// path uses.  Running with no arguments writes BENCH_obs.json (same
+// custom-main convention as micro_sim); bench/check_regression.py gates
+// it against bench/BENCH_obs.baseline.json via the obs bench_check step.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/link.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace abw;
+
+// Discards everything but still runs the formatting in JsonlTraceSink.
+class NullBuf : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+constexpr int kPackets = 5000;
+
+struct Injector {
+  sim::Simulator* simu;
+  sim::Path* path;
+  int remaining;
+  void operator()() {
+    sim::Packet pkt;
+    pkt.size_bytes = 1500;
+    path->inject(0, pkt);
+    if (--remaining > 0) simu->after(24000, *this);  // bottleneck pace
+  }
+};
+
+// One steady-state forwarding run with `sink` on both links (nullptr =
+// tracing compiled in but disabled).
+void forward_once(benchmark::State& state, obs::TraceSink* sink) {
+  sim::Simulator simu;
+  sim::LinkConfig fast, tight;
+  fast.capacity_bps = 1e9;
+  fast.propagation_delay = 100;
+  tight.capacity_bps = 5e8;  // 1500B service = 24 us
+  tight.propagation_delay = 100;
+  sim::Path path(simu, {fast, tight});
+  path.link(0).set_trace(sink);
+  path.link(1).set_trace(sink);
+  sim::CountingSink recv;
+  path.set_receiver(&recv);
+  simu.at(0, Injector{&simu, &path, kPackets});
+  simu.run_until_idle();
+  benchmark::DoNotOptimize(recv.packets());
+  if constexpr (requires { simu.peak_event_count(); })
+    state.counters["peak_events"] = static_cast<double>(simu.peak_event_count());
+}
+
+void BM_ForwardTraceOff(benchmark::State& state) {
+  for (auto _ : state) forward_once(state, nullptr);
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_ForwardTraceOff);
+
+void BM_ForwardNullSink(benchmark::State& state) {
+  obs::NullTraceSink sink;
+  for (auto _ : state) forward_once(state, &sink);
+  state.SetItemsProcessed(state.iterations() * kPackets);
+  state.counters["events_per_run"] =
+      static_cast<double>(sink.events()) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ForwardNullSink);
+
+void BM_ForwardJsonlSink(benchmark::State& state) {
+  NullBuf buf;
+  std::ostream devnull(&buf);
+  obs::JsonlTraceSink sink(devnull);
+  for (auto _ : state) forward_once(state, &sink);
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_ForwardJsonlSink);
+
+// Name lookup on a warm registry — what Scenario::snapshot_metrics and
+// the estimator wrapper pay per metric touch.
+void BM_MetricsRegistryLookup(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  std::vector<std::string> names;
+  for (int i = 0; i < 64; ++i) {
+    names.push_back("link.hop" + std::to_string(i) + ".packets_out");
+    reg.counter(names.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    reg.counter(names[i & 63]).add();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsRegistryLookup);
+
+}  // namespace
+
+// Custom main, same convention as micro_sim: default the JSON output to
+// BENCH_obs.json so the obs bench_check step needs no flag plumbing.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_obs.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int nargs = static_cast<int>(args.size());
+  benchmark::Initialize(&nargs, args.data());
+  if (benchmark::ReportUnrecognizedArguments(nargs, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,14 +7,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
-#include "est/direct.hpp"
-#include "est/igi_ptr.hpp"
-#include "est/pathchirp.hpp"
-#include "est/pathload.hpp"
-#include "est/spruce.hpp"
-#include "est/topp.hpp"
 #include "runner/batch.hpp"
 #include "runner/cli.hpp"
 #include "runner/bench_report.hpp"
@@ -26,32 +21,21 @@ namespace {
 
 constexpr int kSeeds = 5;
 
+// Registry v2: one uniform option set, tools enumerated from the
+// ToolInfo table instead of eight hand-built config structs.  bfind is
+// skipped here — its multi-second rate ramp dominates the batch and the
+// comparison tables never included it.
 std::vector<std::unique_ptr<est::Estimator>> make_tools(double ct,
                                                         stats::Rng& rng) {
+  core::ToolOptions o;
+  o.tight_capacity_bps = ct;
+  o.min_rate_bps = 0.04 * ct;
+  o.max_rate_bps = 0.98 * ct;
   std::vector<std::unique_ptr<est::Estimator>> tools;
-  est::DirectConfig dc;
-  dc.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::DirectProber>(dc));
-  est::SpruceConfig sc;
-  sc.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::Spruce>(sc, rng.fork()));
-  est::ToppConfig tc;
-  tc.min_rate_bps = 0.1 * ct;
-  tc.max_rate_bps = 0.96 * ct;
-  tc.rate_step_bps = 0.04 * ct;
-  tools.push_back(std::make_unique<est::Topp>(tc, rng.fork()));
-  est::PathloadConfig pc;
-  pc.min_rate_bps = 0.04 * ct;
-  pc.max_rate_bps = 0.98 * ct;
-  tools.push_back(std::make_unique<est::Pathload>(pc));
-  est::PathChirpConfig cc;
-  cc.low_rate_bps = 0.08 * ct;
-  cc.packets_per_chirp = 22;
-  tools.push_back(std::make_unique<est::PathChirp>(cc));
-  est::IgiPtrConfig ic;
-  ic.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kIgi));
-  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kPtr));
+  for (const core::ToolInfo& info : core::available_tool_info()) {
+    if (info.name == "bfind") continue;
+    tools.push_back(core::make_estimator(info.name, o, rng));
+  }
   return tools;
 }
 

@@ -14,14 +14,20 @@
 //   --seed=N           RNG seed                      (default 1)
 //   --loss=P           random per-hop loss prob      (default 0)
 //   --skew-ppm=D       receiver clock drift in ppm   (default 0)
+//   --trace=FILE       write a JSONL event trace (obs/) to FILE
+//   --metrics=FILE     write a JSON metrics snapshot (obs/) to FILE
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace abw;
 
@@ -48,6 +54,8 @@ struct Args {
   std::uint64_t seed = 1;
   double loss = 0.0;
   double skew_ppm = 0.0;
+  std::string trace_path;
+  std::string metrics_path;
   bool list = false;
 };
 
@@ -72,6 +80,8 @@ bool parse(int argc, char** argv, Args& a) {
     else if (eat("--seed", v)) a.seed = std::stoull(v);
     else if (eat("--loss", v)) a.loss = std::stod(v);
     else if (eat("--skew-ppm", v)) a.skew_ppm = std::stod(v);
+    else if (eat("--trace", v)) a.trace_path = v;
+    else if (eat("--metrics", v)) a.metrics_path = v;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -94,8 +104,20 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) return 2;
 
   if (args.list) {
+    // Registry v2: the structured table, not just names.
     std::printf("available tools:\n");
-    for (const auto& t : core::available_tools()) std::printf("  %s\n", t.c_str());
+    std::printf("  %-10s %-10s %-10s %-8s %s\n", "name", "class", "needs Ct",
+                "pkt size", "repetitions");
+    for (const auto& t : core::available_tool_info()) {
+      std::string reps = t.default_repetitions == 0
+                             ? std::string("-")
+                             : std::to_string(t.default_repetitions);
+      std::printf("  %-10s %-10s %-10s %-8u %s\n", t.name.c_str(),
+                  t.probing_class == est::ProbingClass::kDirect ? "direct"
+                                                                : "iterative",
+                  t.requires_tight_capacity ? "yes" : "no",
+                  t.default_packet_size, reps.c_str());
+    }
     return 0;
   }
 
@@ -128,10 +150,25 @@ int main(int argc, char** argv) {
       sc.session().set_receiver_clock(clock);
     }
 
+    // Observability: the trace sink sees every layer (links, session,
+    // tool decisions); metrics collect tool counters plus a final
+    // scenario snapshot.  Both off (null) unless the flags are given.
+    std::unique_ptr<obs::JsonlTraceSink> trace;
+    if (!args.trace_path.empty()) {
+      trace = std::make_unique<obs::JsonlTraceSink>(args.trace_path);
+      sc.set_trace(trace.get());
+    }
+    obs::MetricsRegistry metrics;
+
     core::ToolOptions opts;
     opts.tight_capacity_bps = args.capacity;
     opts.min_rate_bps = 0.04 * args.capacity;
     opts.max_rate_bps = 0.98 * args.capacity;
+    opts.trace = trace.get();
+    if (!args.metrics_path.empty()) {
+      opts.metrics = &metrics;
+      sc.simulator().set_metrics(&metrics);
+    }
     stats::Rng rng(args.seed ^ 0xabcdef);
     auto tool = core::make_estimator(args.tool, opts, rng);
 
@@ -142,6 +179,21 @@ int main(int argc, char** argv) {
                 core::mbps(sc.nominal_avail_bw()).c_str());
 
     est::Estimate e = tool->estimate(sc.session());
+
+    if (trace) {
+      trace->flush();
+      std::printf("trace: %llu events -> %s\n",
+                  static_cast<unsigned long long>(trace->lines()),
+                  args.trace_path.c_str());
+    }
+    if (!args.metrics_path.empty()) {
+      sc.snapshot_metrics(metrics);
+      std::ofstream out(args.metrics_path);
+      if (!out) throw std::runtime_error("cannot open " + args.metrics_path);
+      metrics.write_json(out, /*include_timers=*/true);
+      std::printf("metrics snapshot -> %s\n", args.metrics_path.c_str());
+    }
+
     if (!e.valid) {
       std::printf("%s: estimation failed: %s\n", args.tool.c_str(),
                   e.detail.c_str());

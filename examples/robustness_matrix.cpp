@@ -2,8 +2,9 @@
 // the fault-injection layer provides (sim/fault.hpp), run as a
 // fault-tolerant parallel grid.
 //
-//   ./robustness_matrix             # hardware_concurrency() threads
-//   ./robustness_matrix --jobs 4    # explicit thread count
+//   ./robustness_matrix                 # hardware_concurrency() threads
+//   ./robustness_matrix --jobs 4        # explicit thread count
+//   ./robustness_matrix --metrics=FILE  # per-cell metrics snapshots (JSON)
 //
 // Each cell builds a fresh single-hop scenario (Ct = 50 Mb/s, A = 25
 // Mb/s), applies one impairment — Gilbert-Elliott bursty loss, Bernoulli
@@ -16,6 +17,7 @@
 // cell that throws is reported as an error record without discarding the
 // rest of the grid.
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -25,6 +27,7 @@
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "est/estimator.hpp"
+#include "obs/metrics.hpp"
 #include "runner/batch.hpp"
 #include "runner/cli.hpp"
 #include "sim/fault.hpp"
@@ -82,24 +85,31 @@ struct Cell {
   bool valid = false;
   std::string note;        // abort reason / detail when invalid
   double truth_mbps = 0.0; // ground truth over the measurement window
+  std::string metrics_json;  // per-cell snapshot when --metrics is given
 };
 
-Cell run_cell(const std::string& tool, const Impairment& imp,
-              std::uint64_t seed) {
+Cell run_cell(const core::ToolInfo& tool, const Impairment& imp,
+              std::uint64_t seed, bool collect_metrics) {
   core::SingleHopConfig cfg;
   cfg.seed = seed;
   core::Scenario sc = core::Scenario::single_hop(cfg);
   imp.apply(sc);
 
   core::ToolOptions opt;
-  opt.tight_capacity_bps = cfg.capacity_bps;
+  // Registry v2: feed Ct only to the tools whose info says they need it.
+  if (tool.requires_tight_capacity) opt.tight_capacity_bps = cfg.capacity_bps;
   opt.max_rate_bps = cfg.capacity_bps;
   // The hard bounds this PR is about: no tool may consume more than 60 s
   // of simulated time or 60k probe packets, whatever the impairment does.
   opt.limits.deadline = 60 * sim::kSecond;
   opt.limits.max_probe_packets = 60000;
 
-  auto est = core::make_estimator(tool, opt, sc.rng());
+  // One registry per cell: each cell is an independent world, so the
+  // snapshots stay byte-identical regardless of --jobs.
+  obs::MetricsRegistry metrics;
+  if (collect_metrics) opt.metrics = &metrics;
+
+  auto est = core::make_estimator(tool.name, opt, sc.rng());
   sim::SimTime t1 = sc.simulator().now();
   est::Estimate e = est->estimate(sc.session());
   sim::SimTime t2 = sc.simulator().now();
@@ -114,6 +124,10 @@ Cell run_cell(const std::string& tool, const Impairment& imp,
                  ? std::string(est::abort_reason_name(e.abort))
                  : "invalid";
   }
+  if (collect_metrics) {
+    sc.snapshot_metrics(metrics);
+    c.metrics_json = metrics.to_json(/*include_timers=*/false);
+  }
   return c;
 }
 
@@ -121,10 +135,18 @@ Cell run_cell(const std::string& tool, const Impairment& imp,
 
 int main(int argc, char** argv) {
   std::size_t jobs = runner::jobs_from_cli(argc, argv);
+  std::string metrics_path;
+  try {
+    metrics_path = runner::parse_string_flag(argc, argv, "metrics", "");
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const bool collect_metrics = !metrics_path.empty();
   core::print_header(std::cout, "Robustness matrix",
                      "tool x impairment grid under hard estimator limits");
 
-  std::vector<std::string> tools = core::available_tools();
+  const std::vector<core::ToolInfo>& tools = core::available_tool_info();
   std::vector<Impairment> imps = impairments();
   std::printf("%zu tools x %zu impairments on %zu thread(s)\n\n",
               tools.size(), imps.size(), jobs);
@@ -135,7 +157,8 @@ int main(int argc, char** argv) {
   auto cells = pool.map_cells_seeded(
       tools.size() * imps.size(), /*base_seed=*/4242,
       [&](std::size_t i, std::uint64_t seed) {
-        return run_cell(tools[i / imps.size()], imps[i % imps.size()], seed);
+        return run_cell(tools[i / imps.size()], imps[i % imps.size()], seed,
+                        collect_metrics);
       },
       retry);
 
@@ -144,7 +167,7 @@ int main(int argc, char** argv) {
   core::Table table(headers);
   std::size_t errors = 0, aborts = 0;
   for (std::size_t t = 0; t < tools.size(); ++t) {
-    std::vector<std::string> row = {tools[t]};
+    std::vector<std::string> row = {tools[t].name};
     for (std::size_t i = 0; i < imps.size(); ++i) {
       const auto& cell = cells[t * imps.size() + i];
       if (!cell.ok) {
@@ -163,6 +186,30 @@ int main(int argc, char** argv) {
     table.row(row);
   }
   table.print(std::cout);
+
+  if (collect_metrics) {
+    // One JSON object keyed "tool/impairment", cells in grid order —
+    // deterministic for a fixed base seed, independent of --jobs.
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 2;
+    }
+    out << "{";
+    bool first = true;
+    for (std::size_t t = 0; t < tools.size(); ++t)
+      for (std::size_t i = 0; i < imps.size(); ++i) {
+        const auto& cell = cells[t * imps.size() + i];
+        if (!cell.ok || cell.value.metrics_json.empty()) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "\n\"" << tools[t].name << "/" << imps[i].name
+            << "\":" << cell.value.metrics_json;
+      }
+    out << "\n}\n";
+    std::printf("\nper-cell metrics snapshots -> %s\n", metrics_path.c_str());
+  }
+
   std::printf(
       "\ncells show estimate / ground-truth Mbps over the measurement "
       "window;\n(reason) marks a structured abort, ERROR a cell whose "

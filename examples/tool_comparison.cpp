@@ -11,59 +11,26 @@
 #include <memory>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
-#include "est/bfind.hpp"
-#include "est/direct.hpp"
-#include "est/igi_ptr.hpp"
-#include "est/pathchirp.hpp"
-#include "est/pathload.hpp"
-#include "est/spruce.hpp"
-#include "est/topp.hpp"
 
 using namespace abw;
 
 namespace {
 
+// Registry v2: every registered tool under one uniform option set, no
+// per-tool config structs (the registry maps the bracket and capacity
+// onto each tool's own knobs).
 std::vector<std::unique_ptr<est::Estimator>> make_tools(double ct,
                                                         stats::Rng& rng) {
+  core::ToolOptions o;
+  o.tight_capacity_bps = ct;
+  o.min_rate_bps = 0.04 * ct;
+  o.max_rate_bps = 0.98 * ct;
   std::vector<std::unique_ptr<est::Estimator>> tools;
-
-  est::DirectConfig dc;
-  dc.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::DirectProber>(dc));
-
-  est::SpruceConfig sc;
-  sc.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::Spruce>(sc, rng.fork()));
-
-  est::ToppConfig tc;
-  tc.min_rate_bps = 0.1 * ct;
-  tc.max_rate_bps = 0.96 * ct;
-  tc.rate_step_bps = 0.04 * ct;
-  tools.push_back(std::make_unique<est::Topp>(tc, rng.fork()));
-
-  est::PathloadConfig pc;
-  pc.min_rate_bps = 0.04 * ct;
-  pc.max_rate_bps = 0.98 * ct;
-  tools.push_back(std::make_unique<est::Pathload>(pc));
-
-  est::PathChirpConfig cc;
-  cc.low_rate_bps = 0.08 * ct;
-  cc.packets_per_chirp = 22;
-  tools.push_back(std::make_unique<est::PathChirp>(cc));
-
-  est::IgiPtrConfig ic;
-  ic.tight_capacity_bps = ct;
-  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kIgi));
-  tools.push_back(std::make_unique<est::IgiPtr>(ic, est::IgiPtrFormula::kPtr));
-
-  est::BfindConfig bc;
-  bc.initial_rate_bps = 0.1 * ct;
-  bc.rate_step_bps = 0.05 * ct;
-  bc.max_rate_bps = 1.2 * ct;
-  bc.step_duration = 300 * sim::kMillisecond;
-  tools.push_back(std::make_unique<est::Bfind>(bc));
+  for (const core::ToolInfo& info : core::available_tool_info())
+    tools.push_back(core::make_estimator(info.name, o, rng));
   return tools;
 }
 

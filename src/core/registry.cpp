@@ -1,5 +1,7 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "est/bfind.hpp"
@@ -13,14 +15,42 @@
 
 namespace abw::core {
 
+const std::vector<ToolInfo>& available_tool_info() {
+  // Defaults mirror each tool's config struct; keep in sync (the
+  // registry round-trip test cross-checks requires_tight_capacity
+  // against make_estimator's actual behavior).
+  static const std::vector<ToolInfo> kTools = {
+      {"direct", est::ProbingClass::kDirect, true, 1500, 20},
+      {"spruce", est::ProbingClass::kDirect, true, 1500, 100},
+      {"topp", est::ProbingClass::kIterative, false, 1500, 50},
+      {"pathload", est::ProbingClass::kIterative, false, 1000, 12},
+      {"pathchirp", est::ProbingClass::kIterative, false, 1000, 16},
+      {"schirp", est::ProbingClass::kIterative, false, 1000, 16},
+      {"igi", est::ProbingClass::kDirect, true, 700, 60},
+      // PTR is iterative in the paper's taxonomy but its turning-point
+      // search starts from Ct, so the capacity input is still required.
+      {"ptr", est::ProbingClass::kIterative, true, 700, 60},
+      {"bfind", est::ProbingClass::kIterative, false, 1000, 0},
+  };
+  return kTools;
+}
+
+const ToolInfo& tool_info(const std::string& name) {
+  for (const ToolInfo& t : available_tool_info())
+    if (t.name == name) return t;
+  throw std::invalid_argument("tool_info: unknown tool '" + name + "'");
+}
+
 std::vector<std::string> available_tools() {
-  return {"direct", "spruce", "topp", "pathload",
-          "pathchirp", "schirp", "igi", "ptr", "bfind"};
+  std::vector<std::string> names;
+  names.reserve(available_tool_info().size());
+  for (const ToolInfo& t : available_tool_info()) names.push_back(t.name);
+  return names;
 }
 
 bool is_tool(const std::string& name) {
-  for (const auto& t : available_tools())
-    if (t == name) return true;
+  for (const ToolInfo& t : available_tool_info())
+    if (t.name == name) return true;
   return false;
 }
 
@@ -31,6 +61,23 @@ double require_capacity(const ToolOptions& o, const std::string& tool) {
     throw std::invalid_argument(tool + ": tight_capacity_bps required "
                                        "(direct-probing tool)");
   return o.tight_capacity_bps;
+}
+
+// Central ToolOptions sanity checks, shared by every tool: bad brackets
+// and absurd packet sizes fail here with a clear message instead of deep
+// inside an individual tool (or silently, as an empty sweep grid).
+void validate_options(const ToolOptions& o) {
+  if (o.min_rate_bps < 0.0 || o.max_rate_bps < 0.0)
+    throw std::invalid_argument("make_estimator: negative rate bracket");
+  if (o.tight_capacity_bps < 0.0)
+    throw std::invalid_argument("make_estimator: negative tight_capacity_bps");
+  if (o.min_rate_bps >= o.max_rate_bps)
+    throw std::invalid_argument(
+        "make_estimator: min_rate_bps must be < max_rate_bps");
+  if (o.packet_size != 0 && o.packet_size < kMinProbePacketBytes)
+    throw std::invalid_argument(
+        "make_estimator: packet_size below the minimum IP+UDP header size (" +
+        std::to_string(kMinProbePacketBytes) + " bytes)");
 }
 
 }  // namespace
@@ -46,8 +93,10 @@ std::unique_ptr<est::Estimator> make_estimator_impl(const std::string& name,
 std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
                                                const ToolOptions& o,
                                                stats::Rng& rng) {
+  validate_options(o);
   std::unique_ptr<est::Estimator> e = make_estimator_impl(name, o, rng);
   e->set_limits(o.limits);  // shared resource bounds (default: unlimited)
+  e->set_observer(o.trace, o.metrics);  // observability (default: off)
   return e;
 }
 

@@ -1,6 +1,12 @@
 // Estimator registry: construct any implemented technique by name with a
 // uniform option set — what lets the comparison benches, the CLI tool,
 // and downstream users treat the whole toolbox interchangeably.
+//
+// Introspection is structured (registry v2): ToolInfo describes each
+// tool's probing class, capacity requirement, and defaults, so callers
+// size grids and validate configurations without hard-coding per-name
+// knowledge.  available_tools()/is_tool() remain as thin wrappers over
+// the ToolInfo table.
 #pragma once
 
 #include <memory>
@@ -8,9 +14,45 @@
 #include <vector>
 
 #include "est/estimator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/rng.hpp"
 
 namespace abw::core {
+
+/// Smallest meaningful probe packet: IPv4 (20 B) + UDP (8 B) headers with
+/// an empty payload.  ToolOptions::packet_size below this is a
+/// configuration error — no real probe can be smaller.
+inline constexpr std::uint32_t kMinProbePacketBytes = 28;
+
+/// Structured description of one registered tool.
+struct ToolInfo {
+  std::string name;                   ///< registry name ("pathload", ...)
+  est::ProbingClass probing_class;    ///< the paper's taxonomy
+  /// Whether make_estimator requires ToolOptions::tight_capacity_bps > 0
+  /// for this tool.  Note: tracks the *input requirement*, not the
+  /// probing class — PTR is iterative but computes its turning point
+  /// against Ct, so it requires capacity anyway.
+  bool requires_tight_capacity = false;
+  std::uint32_t default_packet_size = 0;  ///< probe size when options say 0
+  /// Tool-specific meaning of ToolOptions::repetitions (streams, pairs,
+  /// chirps, packets-per-train) when options say 0; 0 = the tool has no
+  /// repetition knob (bfind ramps until growth).
+  std::size_t default_repetitions = 0;
+};
+
+/// All registered tools in a stable order (the order available_tools()
+/// has always reported).
+const std::vector<ToolInfo>& available_tool_info();
+
+/// Info for one tool.  Throws std::invalid_argument for unknown names.
+const ToolInfo& tool_info(const std::string& name);
+
+/// Names accepted by make_estimator, in a stable order.
+std::vector<std::string> available_tools();
+
+/// True when `name` names a registered tool.
+bool is_tool(const std::string& name);
 
 /// Uniform knobs shared by all tools; each tool reads the subset it
 /// understands (direct tools need `tight_capacity_bps`; iterative tools
@@ -25,17 +67,19 @@ struct ToolOptions {
   /// unlimited).  Under impairments (fault injection, heavy loss) these
   /// guarantee termination with a structured AbortReason.
   est::EstimatorLimits limits;
+  /// Observability (obs/): per-tool decision events go to `trace`,
+  /// run counters / diagnostics / timing to `metrics`.  Either may be
+  /// nullptr (the default: observability off).  Not owned; must outlive
+  /// the constructed estimator.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Names accepted by make_estimator, in a stable order.
-std::vector<std::string> available_tools();
-
-/// True when `name` names a registered tool.
-bool is_tool(const std::string& name);
-
 /// Builds the named estimator.  Throws std::invalid_argument for unknown
-/// names or for options the tool cannot work with (e.g. a direct tool
-/// without tight_capacity_bps).  `rng` seeds the tool's randomness.
+/// names or for options the tool cannot work with: a direct tool without
+/// tight_capacity_bps, a negative or inverted rate bracket
+/// (min_rate_bps >= max_rate_bps), or a nonzero packet_size below
+/// kMinProbePacketBytes.  `rng` seeds the tool's randomness.
 std::unique_ptr<est::Estimator> make_estimator(const std::string& name,
                                                const ToolOptions& options,
                                                stats::Rng& rng);

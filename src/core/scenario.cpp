@@ -169,6 +169,38 @@ Scenario Scenario::custom(const std::vector<sim::LinkConfig>& links,
   return sc;
 }
 
+void Scenario::set_trace(obs::TraceSink* sink) {
+  for (std::size_t h = 0; h < path_->hop_count(); ++h)
+    path_->link(h).set_trace(sink);
+  session_->set_trace(sink);
+}
+
+void Scenario::snapshot_metrics(obs::MetricsRegistry& m) const {
+  for (std::size_t h = 0; h < path_->hop_count(); ++h) {
+    const sim::Link& link = path_->link(h);
+    const sim::LinkStats& s = link.stats();
+    const std::string p = "link." + link.name() + ".";
+    m.counter(p + "packets_in").set(s.packets_in);
+    m.counter(p + "packets_out").set(s.packets_out);
+    m.counter(p + "packets_dropped").set(s.packets_dropped);
+    m.counter(p + "packets_red_dropped").set(s.packets_red_dropped);
+    m.counter(p + "packets_lost").set(s.packets_lost);
+    m.counter(p + "packets_ge_lost").set(s.packets_ge_lost);
+    m.counter(p + "packets_duplicated").set(s.packets_duplicated);
+    m.counter(p + "packets_reordered").set(s.packets_reordered);
+    m.counter(p + "capacity_changes").set(s.capacity_changes);
+    m.counter(p + "bytes_in").set(s.bytes_in);
+    m.counter(p + "bytes_out").set(s.bytes_out);
+    m.gauge(p + "capacity_bps").set(link.capacity_bps());
+  }
+  const probe::ProbeCost& cost = session_->cost();
+  m.counter("session.streams").set(cost.streams);
+  m.counter("session.packets").set(cost.packets);
+  m.counter("session.bytes").set(cost.bytes);
+  m.gauge("session.elapsed_s").set(sim::to_seconds(cost.elapsed()));
+  m.counter("sim.events").set(sim_->events_processed());
+}
+
 double Scenario::recent_ground_truth(sim::SimTime window) const {
   sim::SimTime now = sim_->now();
   if (now <= window) return nominal_avail_bw_;

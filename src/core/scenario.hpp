@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "probe/session.hpp"
 #include "sim/hybrid.hpp"
 #include "sim/path.hpp"
@@ -127,6 +129,22 @@ class Scenario {
 
   /// Measured ground truth over the trailing `window` ending now.
   double recent_ground_truth(sim::SimTime window) const;
+
+  /// Wires `sink` into every layer of the scenario at once: all path
+  /// links (packet/busy/fault/capacity events) and the probe session
+  /// (stream boundaries).  nullptr detaches.  Tool decision events are
+  /// wired separately through ToolOptions::trace /
+  /// Estimator::set_observer.  The sink is not owned and must outlive
+  /// the scenario (or be detached first).
+  void set_trace(obs::TraceSink* sink);
+
+  /// Snapshots the scenario's current state into `m`: per-link counters
+  /// ("link.<name>.packets_in", drops, fault accounting, bytes), per-link
+  /// capacity gauges, session totals ("session.streams", ...), and the
+  /// simulator's event count ("sim.events").  Deterministic for a seeded
+  /// run; call at the end of a cell and serialize with
+  /// MetricsRegistry::to_json().
+  void snapshot_metrics(obs::MetricsRegistry& m) const;
 
  private:
   Scenario(std::uint64_t seed);

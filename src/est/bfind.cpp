@@ -17,15 +17,16 @@ Bfind::Bfind(const BfindConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("Bfind: bad sampling parameters");
 }
 
-Estimate Bfind::estimate(probe::ProbeSession& session) {
+Estimate Bfind::do_estimate(probe::ProbeSession& session) {
   flagged_hop_ = sim::kEndToEnd;
   sim::Simulator& sim = session.simulator();
   sim::Path& path = session.path();
   std::size_t hops = path.hop_count();
+  std::size_t steps = 0;
 
   LimitGuard guard(limits_, session);
   for (double rate = cfg_.initial_rate_bps; rate <= cfg_.max_rate_bps;
-       rate += cfg_.rate_step_bps) {
+       rate += cfg_.rate_step_bps, ++steps) {
     if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
       Estimate e = abort_estimate(r, name());
       e.cost = session.cost();
@@ -62,15 +63,25 @@ Estimate Bfind::estimate(probe::ProbeSession& session) {
       std::vector<double> b(d.begin() + static_cast<std::ptrdiff_t>(half), d.end());
       if (stats::mean(b) - stats::mean(a) > cfg_.growth_threshold_ms) {
         flagged_hop_ = static_cast<std::uint32_t>(h);
+        decision(session, "rate-step", "queue-growth", steps, rate,
+                 static_cast<double>(h));
         Estimate e = Estimate::point(rate);
         e.cost = session.cost();
         e.detail = "queue growth at hop " + std::to_string(h) + " at " +
                    std::to_string(rate / 1e6) + "Mbps";
+        e.diag("flagged_hop", static_cast<double>(h));
+        e.diag("steps", static_cast<double>(steps + 1));
         return e;
       }
     }
+    decision(session, "rate-step", "no-growth", steps, rate);
   }
-  return Estimate::invalid("bfind: no hop showed queue growth up to max rate");
+  Estimate e =
+      Estimate::invalid("bfind: no hop showed queue growth up to max rate");
+  e.diag("flagged_hop", -1.0);
+  e.diag("steps", static_cast<double>(steps));
+  e.cost = session.cost();
+  return e;
 }
 
 }  // namespace abw::est

@@ -30,12 +30,14 @@ class Bfind final : public Estimator {
  public:
   explicit Bfind(const BfindConfig& cfg);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "bfind"; }
   ProbingClass probing_class() const override { return ProbingClass::kIterative; }
 
   /// Hop flagged as the bottleneck by the last run (kEndToEnd if none).
   std::uint32_t flagged_hop() const { return flagged_hop_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   BfindConfig cfg_;

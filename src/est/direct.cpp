@@ -47,7 +47,7 @@ std::optional<double> DirectProber::sample(probe::ProbeSession& session) {
   return direct_probe_equation(cfg_.tight_capacity_bps, ri, ro);
 }
 
-Estimate DirectProber::estimate(probe::ProbeSession& session) {
+Estimate DirectProber::do_estimate(probe::ProbeSession& session) {
   stats::RunningStats acc;
   std::size_t unusable = 0;
   LimitGuard guard(limits_, session);
@@ -59,6 +59,7 @@ Estimate DirectProber::estimate(probe::ProbeSession& session) {
     }
     if (auto a = sample(session)) {
       acc.add(*a);
+      decision(session, "sample", "usable", k, *a, cfg_.input_rate_bps);
       if (cfg_.adaptive) {
         // Re-aim halfway between the sample and Ct: safely above A,
         // well below the needlessly intrusive Ct.
@@ -68,6 +69,7 @@ Estimate DirectProber::estimate(probe::ProbeSession& session) {
       }
     } else {
       ++unusable;
+      decision(session, "sample", "unusable", k, 0.0, cfg_.input_rate_bps);
       if (cfg_.adaptive) {
         // Stream did not congest the link: Ri was at or below A; push up.
         cfg_.input_rate_bps = std::min(cfg_.input_rate_bps * 1.3,
@@ -76,14 +78,21 @@ Estimate DirectProber::estimate(probe::ProbeSession& session) {
     }
     session.simulator().run_until(session.simulator().now() + cfg_.inter_stream_gap);
   }
-  if (acc.count() == 0)
-    return Estimate::aborted(
+  if (acc.count() == 0) {
+    Estimate e = Estimate::aborted(
         AbortReason::kInsufficientData,
         "direct: no stream congested the tight link (Ri <= A?)");
+    e.diag("samples", 0.0);
+    e.diag("unusable", static_cast<double>(unusable));
+    e.cost = session.cost();
+    return e;
+  }
   Estimate e = Estimate::range(acc.mean() - acc.stddev(), acc.mean() + acc.stddev());
   e.cost = session.cost();
   e.detail = "samples=" + std::to_string(acc.count()) +
              " unusable=" + std::to_string(unusable);
+  e.diag("samples", static_cast<double>(acc.count()));
+  e.diag("unusable", static_cast<double>(unusable));
   return e;
 }
 

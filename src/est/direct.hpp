@@ -37,7 +37,6 @@ class DirectProber final : public Estimator {
  public:
   explicit DirectProber(const DirectConfig& cfg);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "direct"; }
   ProbingClass probing_class() const override { return ProbingClass::kDirect; }
 
@@ -52,6 +51,9 @@ class DirectProber final : public Estimator {
 
   /// The input rate the next stream will use (changes under adaptation).
   double current_rate_bps() const { return cfg_.input_rate_bps; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   DirectConfig cfg_;

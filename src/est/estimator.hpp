@@ -14,7 +14,10 @@
 #include <limits>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "probe/session.hpp"
 
 namespace abw::est {
@@ -47,6 +50,15 @@ struct EstimatorLimits {
   bool any() const { return max_probe_packets > 0 || deadline > 0; }
 };
 
+/// One structured diagnostic: a named number a tool reports about its own
+/// run ("streams_used", "excursion_count", ...).  Kept as an ordered
+/// vector, not a map: tools append in a meaningful order (cheap, stable,
+/// duplicate-free by construction) and serializers preserve it.
+struct Diag {
+  std::string key;
+  double value = 0.0;
+};
+
 /// An avail-bw estimate.  Point estimators set low == high; Pathload-style
 /// range estimators report the variation range they converged to (which
 /// the paper stresses is NOT a confidence interval for the mean).
@@ -56,7 +68,26 @@ struct Estimate {
   double high_bps = 0.0;
   AbortReason abort = AbortReason::kNone;  ///< set when limits cut the run short
   probe::ProbeCost cost;  ///< probing overhead consumed by this estimate
-  std::string detail;     ///< tool-specific notes (diagnostics)
+  /// Structured per-run diagnostics, populated by every tool — the
+  /// primary introspection channel (machine-readable; serialized by
+  /// to_json()).  `detail` remains for human eyes and is synthesized
+  /// from these pairs when the tool does not set it explicitly.
+  std::vector<Diag> diagnostics;
+  std::string detail;     ///< tool-specific notes (human-readable)
+
+  /// Appends one diagnostic (keys are expected to be unique per tool).
+  void diag(std::string key, double value) {
+    diagnostics.push_back({std::move(key), value});
+  }
+
+  /// The value of diagnostic `key`, or NaN when absent.
+  double diag_value(std::string_view key) const;
+
+  /// JSON object with the estimate's full structured state:
+  /// {"valid":...,"low_bps":...,"high_bps":...,"abort":"...",
+  ///  "detail":"...","cost":{...},"diagnostics":{...}} — deterministic
+  /// for a seeded run (no wall-clock fields).
+  std::string to_json() const;
 
   /// Midpoint, the conventional single-number reading.  NaN when the
   /// estimate is invalid — an invalid measurement must never read as
@@ -98,13 +129,21 @@ struct Estimate {
 };
 
 /// Common interface: run a complete measurement over the given session.
+///
+/// Template method: estimate() is the non-virtual public entry point; it
+/// wraps the technique's do_estimate() with the cross-cutting concerns —
+/// a profiling timer ("est.<name>.seconds"), run/valid/abort counters and
+/// per-diagnostic gauges in the attached MetricsRegistry, a final
+/// decision trace event, and synthesis of the human-readable `detail`
+/// from `diagnostics` when the tool left it empty.  Tools override the
+/// protected do_estimate() only.
 class Estimator {
  public:
   virtual ~Estimator() = default;
 
   /// Runs the technique to completion, advancing simulated time as real
   /// tools consume wall-clock time, and returns its estimate.
-  virtual Estimate estimate(probe::ProbeSession& session) = 0;
+  Estimate estimate(probe::ProbeSession& session);
 
   /// Tool name, e.g. "pathload".
   virtual std::string_view name() const = 0;
@@ -119,7 +158,31 @@ class Estimator {
   void set_limits(const EstimatorLimits& limits) { limits_ = limits; }
   const EstimatorLimits& limits() const { return limits_; }
 
+  /// Attaches observability: per-tool decision events go to `trace`,
+  /// run counters / diagnostics gauges / timing to `metrics`.  Either
+  /// may be nullptr (the default — zero overhead beyond a branch).
+  /// Neither is owned.
+  void set_observer(obs::TraceSink* trace, obs::MetricsRegistry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
  protected:
+  /// The technique itself.  Implementations populate
+  /// Estimate::diagnostics; `detail` may be left empty (synthesized).
+  virtual Estimate do_estimate(probe::ProbeSession& session) = 0;
+
+  /// Emits one decision trace event (no-op when no sink attached):
+  /// `what` names the decision ("fleet-verdict", "excursion", ...),
+  /// `outcome` its result, `iter` the iteration index, value/aux the
+  /// numbers behind it.  Time stamps from the session's simulator clock.
+  void decision(probe::ProbeSession& session, std::string_view what,
+                std::string_view outcome, std::uint64_t iter, double value,
+                double aux = 0.0);
+
+  /// True when a trace sink is attached (skip building expensive
+  /// outcome strings otherwise).
+  bool tracing() const { return trace_ != nullptr; }
   /// Per-measurement limit bookkeeping.  Construct at the top of
   /// estimate() and call exceeded() before each stream; the baseline
   /// subtraction makes the budget per-measurement even though
@@ -155,6 +218,8 @@ class Estimator {
   static Estimate abort_estimate(AbortReason reason, std::string_view tool);
 
   EstimatorLimits limits_;
+  obs::TraceSink* trace_ = nullptr;        // not owned; nullptr = off
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; nullptr = off
 };
 
 }  // namespace abw::est

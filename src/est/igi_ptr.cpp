@@ -20,7 +20,7 @@ IgiPtr::IgiPtr(const IgiPtrConfig& cfg, IgiPtrFormula formula)
     throw std::invalid_argument("IgiPtr: repetitions must be >= 1");
 }
 
-Estimate IgiPtr::estimate(probe::ProbeSession& session) {
+Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
   last_igi_ = last_ptr_ = 0.0;
   trains_used_ = 0;
 
@@ -73,8 +73,11 @@ Estimate IgiPtr::estimate(probe::ProbeSession& session) {
   for (std::size_t phase = 0; phase < cfg_.repetitions; ++phase) {
     double igi = 0.0, ptr = 0.0;
     if (search_once(igi, ptr)) {
+      decision(session, "phase", "turning-point", phase, igi, ptr);
       igis.push_back(igi);
       ptrs.push_back(ptr);
+    } else if (abort == AbortReason::kNone) {
+      decision(session, "phase", "no-turning-point", phase, 0.0);
     }
     if (abort != AbortReason::kNone) {
       Estimate e = abort_estimate(abort, name());
@@ -82,9 +85,15 @@ Estimate IgiPtr::estimate(probe::ProbeSession& session) {
       return e;
     }
   }
-  if (igis.empty())
-    return Estimate::aborted(AbortReason::kInsufficientData,
-                             "igi/ptr: no turning point in any phase");
+  if (igis.empty()) {
+    Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
+                                   "igi/ptr: no turning point in any phase");
+    e.diag("phases_used", 0.0);
+    e.diag("phases", static_cast<double>(cfg_.repetitions));
+    e.diag("trains", static_cast<double>(trains_used_));
+    e.cost = session.cost();
+    return e;
+  }
 
   last_igi_ = stats::median(igis);
   last_ptr_ = stats::median(ptrs);
@@ -94,6 +103,11 @@ Estimate IgiPtr::estimate(probe::ProbeSession& session) {
   e.detail = "phases=" + std::to_string(igis.size()) + "/" +
              std::to_string(cfg_.repetitions) +
              " trains=" + std::to_string(trains_used_);
+  e.diag("phases_used", static_cast<double>(igis.size()));
+  e.diag("phases", static_cast<double>(cfg_.repetitions));
+  e.diag("trains", static_cast<double>(trains_used_));
+  e.diag("igi_bps", last_igi_);
+  e.diag("ptr_bps", last_ptr_);
   return e;
 }
 

@@ -47,7 +47,6 @@ class IgiPtr final : public Estimator {
  public:
   IgiPtr(const IgiPtrConfig& cfg, IgiPtrFormula formula);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override {
     return formula_ == IgiPtrFormula::kIgi ? "igi" : "ptr";
   }
@@ -63,6 +62,9 @@ class IgiPtr final : public Estimator {
   double last_igi_bps() const { return last_igi_; }
   double last_ptr_bps() const { return last_ptr_; }
   std::size_t trains_used() const { return trains_used_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   IgiPtrConfig cfg_;

@@ -94,7 +94,7 @@ double PathChirp::analyze_chirp(const std::vector<double>& owds,
   return den > 0.0 ? num / den : 0.0;
 }
 
-Estimate PathChirp::estimate(probe::ProbeSession& session) {
+Estimate PathChirp::do_estimate(probe::ProbeSession& session) {
   chirp_estimates_.clear();
 
   probe::StreamSpec spec = probe::StreamSpec::chirp(
@@ -116,17 +116,28 @@ Estimate PathChirp::estimate(probe::ProbeSession& session) {
       return e;
     }
     probe::StreamResult res = session.send_stream_now(spec, cfg_.inter_chirp_gap);
-    if (!res.complete()) continue;  // chirps with loss are discarded
+    if (!res.complete()) {
+      decision(session, "chirp", "discarded", c, 0.0);
+      continue;  // chirps with loss are discarded
+    }
     double e = analyze_chirp(res.owds_seconds(), rates, gaps);
+    decision(session, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
     if (e > 0.0) chirp_estimates_.push_back(e);
   }
 
-  if (chirp_estimates_.empty())
-    return Estimate::aborted(AbortReason::kInsufficientData,
-                             "pathchirp: no usable chirps");
+  if (chirp_estimates_.empty()) {
+    Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
+                                   "pathchirp: no usable chirps");
+    e.diag("chirps_used", 0.0);
+    e.diag("chirps_sent", static_cast<double>(cfg_.chirps));
+    e.cost = session.cost();
+    return e;
+  }
   Estimate e = Estimate::point(stats::mean(chirp_estimates_));
   e.cost = session.cost();
   e.detail = "chirps=" + std::to_string(chirp_estimates_.size());
+  e.diag("chirps_used", static_cast<double>(chirp_estimates_.size()));
+  e.diag("chirps_sent", static_cast<double>(cfg_.chirps));
   return e;
 }
 

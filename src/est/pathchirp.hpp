@@ -43,7 +43,6 @@ class PathChirp final : public Estimator {
  public:
   explicit PathChirp(const PathChirpConfig& cfg);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "pathchirp"; }
   ProbingClass probing_class() const override { return ProbingClass::kIterative; }
 
@@ -56,6 +55,9 @@ class PathChirp final : public Estimator {
 
   /// Per-chirp estimates from the last estimate() call.
   const std::vector<double>& last_chirp_estimates() const { return chirp_estimates_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   PathChirpConfig cfg_;

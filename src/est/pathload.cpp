@@ -52,7 +52,20 @@ FleetVerdict Pathload::probe_fleet(probe::ProbeSession& session, double rate_bps
   return FleetVerdict::kGrey;
 }
 
-Estimate Pathload::estimate(probe::ProbeSession& session) {
+namespace {
+
+std::string_view fleet_verdict_name(FleetVerdict v) {
+  switch (v) {
+    case FleetVerdict::kAboveAvailBw: return "above";
+    case FleetVerdict::kBelowAvailBw: return "below";
+    case FleetVerdict::kGrey: return "grey";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Estimate Pathload::do_estimate(probe::ProbeSession& session) {
   double lo = cfg_.min_rate_bps;   // highest rate verdicted below avail-bw
   double hi = cfg_.max_rate_bps;   // lowest rate verdicted above avail-bw
   double grey_lo = 0.0, grey_hi = 0.0;  // grey-region bounds (0 = unset)
@@ -80,6 +93,8 @@ Estimate Pathload::estimate(probe::ProbeSession& session) {
 
     ++fleets_used_;
     FleetVerdict verdict = probe_fleet(session, rate);
+    decision(session, "fleet-verdict", fleet_verdict_name(verdict),
+             fleets_used_, rate, hi - lo);
     if (abort_ != AbortReason::kNone) {
       guard_ = nullptr;
       Estimate e = abort_estimate(abort_, name());
@@ -117,12 +132,21 @@ Estimate Pathload::estimate(probe::ProbeSession& session) {
   // bracket edges when they are tighter than the initial bracket.
   double out_lo = saw_grey ? std::min(grey_lo, lo) : lo;
   double out_hi = saw_grey ? std::max(grey_hi, hi) : hi;
-  if (out_lo <= cfg_.min_rate_bps && out_hi >= cfg_.max_rate_bps)
-    return Estimate::invalid("pathload: search did not converge");
+  if (out_lo <= cfg_.min_rate_bps && out_hi >= cfg_.max_rate_bps) {
+    Estimate e = Estimate::invalid("pathload: search did not converge");
+    e.diag("fleets", static_cast<double>(fleets_used_));
+    e.diag("grey", saw_grey ? 1.0 : 0.0);
+    e.cost = session.cost();
+    return e;
+  }
   Estimate e = Estimate::range(out_lo, out_hi);
   e.cost = session.cost();
   e.detail = "fleets=" + std::to_string(fleets_used_) +
              (saw_grey ? " grey-region" : "");
+  e.diag("fleets", static_cast<double>(fleets_used_));
+  e.diag("streams",
+         static_cast<double>(fleets_used_ * cfg_.streams_per_fleet));
+  e.diag("grey", saw_grey ? 1.0 : 0.0);
   return e;
 }
 

@@ -42,7 +42,6 @@ class Pathload final : public Estimator {
  public:
   Pathload(const PathloadConfig& cfg);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "pathload"; }
   ProbingClass probing_class() const override { return ProbingClass::kIterative; }
 
@@ -52,6 +51,9 @@ class Pathload final : public Estimator {
 
   /// Number of fleets the last estimate() used.
   std::size_t fleets_used() const { return fleets_used_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   PathloadConfig cfg_;

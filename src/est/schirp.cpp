@@ -38,7 +38,7 @@ std::vector<double> SChirp::smooth(const std::vector<double>& xs,
   return out;
 }
 
-Estimate SChirp::estimate(probe::ProbeSession& session) {
+Estimate SChirp::do_estimate(probe::ProbeSession& session) {
   const PathChirpConfig& cc = cfg_.chirp;
   probe::StreamSpec spec = probe::StreamSpec::chirp(
       cc.low_rate_bps, cc.spread_factor, cc.packet_size, cc.packets_per_chirp);
@@ -59,14 +59,23 @@ Estimate SChirp::estimate(probe::ProbeSession& session) {
       return e;
     }
     probe::StreamResult res = session.send_stream_now(spec, cc.inter_chirp_gap);
-    if (!res.complete()) continue;
+    if (!res.complete()) {
+      decision(session, "chirp", "discarded", c, 0.0);
+      continue;
+    }
     std::vector<double> owds = smooth(res.owds_seconds(), cfg_.smooth_window);
     double e = inner_.analyze_chirp(owds, rates, gaps);
+    decision(session, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
     if (e > 0.0) per_chirp.push_back(e);
   }
-  if (per_chirp.empty())
-    return Estimate::aborted(AbortReason::kInsufficientData,
-                             "schirp: no usable chirps");
+  if (per_chirp.empty()) {
+    Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
+                                   "schirp: no usable chirps");
+    e.diag("chirps_used", 0.0);
+    e.diag("smooth_window", static_cast<double>(cfg_.smooth_window));
+    e.cost = session.cost();
+    return e;
+  }
   // Median across chirps: single-chirp excursion analysis is noisy in
   // both directions (spurious early onsets, missed final excursions), and
   // the robust-location spirit of the smoothed variant extends naturally
@@ -75,6 +84,8 @@ Estimate SChirp::estimate(probe::ProbeSession& session) {
   e.cost = session.cost();
   e.detail = "chirps=" + std::to_string(per_chirp.size()) +
              " smooth=" + std::to_string(cfg_.smooth_window);
+  e.diag("chirps_used", static_cast<double>(per_chirp.size()));
+  e.diag("smooth_window", static_cast<double>(cfg_.smooth_window));
   return e;
 }
 

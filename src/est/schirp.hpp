@@ -28,7 +28,6 @@ class SChirp final : public Estimator {
  public:
   explicit SChirp(const SChirpConfig& cfg);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "schirp"; }
   ProbingClass probing_class() const override { return ProbingClass::kIterative; }
 
@@ -36,6 +35,9 @@ class SChirp final : public Estimator {
   /// tests.  window must be odd.
   static std::vector<double> smooth(const std::vector<double>& xs,
                                     std::size_t window);
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   SChirpConfig cfg_;

@@ -16,7 +16,7 @@ Spruce::Spruce(const SpruceConfig& cfg, stats::Rng rng)
     throw std::invalid_argument("Spruce: bad parameters");
 }
 
-Estimate Spruce::estimate(probe::ProbeSession& session) {
+Estimate Spruce::do_estimate(probe::ProbeSession& session) {
   samples_.clear();
   samples_.reserve(cfg_.pair_count);
 
@@ -38,22 +38,33 @@ Estimate Spruce::estimate(probe::ProbeSession& session) {
   double gin = sim::to_seconds(
       sim::transmission_time(cfg_.packet_size, cfg_.tight_capacity_bps));
 
+  std::size_t pairs_lost = 0;
   for (std::size_t p = 0; p + 1 < res.packets.size(); p += 2) {
     const probe::ProbeRecord& a = res.packets[p];
     const probe::ProbeRecord& b = res.packets[p + 1];
-    if (a.lost || b.lost) continue;
+    if (a.lost || b.lost) {
+      ++pairs_lost;
+      continue;
+    }
     double gout = sim::to_seconds(b.received - a.received);
     double sample = cfg_.tight_capacity_bps * (1.0 - (gout - gin) / gin);
     // Spruce clamps samples into [0, Ct].
     samples_.push_back(std::clamp(sample, 0.0, cfg_.tight_capacity_bps));
   }
 
-  if (samples_.empty())
-    return Estimate::aborted(AbortReason::kInsufficientData,
-                             "spruce: all pairs lost");
+  if (samples_.empty()) {
+    Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
+                                   "spruce: all pairs lost");
+    e.diag("pairs_used", 0.0);
+    e.diag("pairs_lost", static_cast<double>(pairs_lost));
+    e.cost = session.cost();
+    return e;
+  }
   Estimate e = Estimate::point(stats::mean(samples_));
   e.cost = session.cost();
   e.detail = "pairs=" + std::to_string(samples_.size());
+  e.diag("pairs_used", static_cast<double>(samples_.size()));
+  e.diag("pairs_lost", static_cast<double>(pairs_lost));
   return e;
 }
 

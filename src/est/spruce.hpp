@@ -28,13 +28,15 @@ class Spruce final : public Estimator {
  public:
   Spruce(const SpruceConfig& cfg, stats::Rng rng);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "spruce"; }
   ProbingClass probing_class() const override { return ProbingClass::kDirect; }
 
   /// Per-pair samples from the last estimate() call (for Table 1-style
   /// analyses of sample statistics).
   const std::vector<double>& last_samples() const { return samples_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   SpruceConfig cfg_;

@@ -17,7 +17,7 @@ Topp::Topp(const ToppConfig& cfg, stats::Rng rng) : cfg_(cfg), rng_(std::move(rn
     throw std::invalid_argument("Topp: bad stream parameters");
 }
 
-Estimate Topp::estimate(probe::ProbeSession& session) {
+Estimate Topp::do_estimate(probe::ProbeSession& session) {
   curve_.clear();
   est_capacity_ = 0.0;
 
@@ -45,12 +45,18 @@ Estimate Topp::estimate(probe::ProbeSession& session) {
       ratio.add(gout / gin);
     }
     if (ratio.count() == 0) continue;
+    decision(session, "rate-point", "measured", curve_.size(), rate,
+             ratio.mean());
     curve_.push_back({rate, ratio.mean()});
   }
 
-  if (curve_.size() < 6)
-    return Estimate::aborted(AbortReason::kInsufficientData,
-                             "topp: sweep produced too little data");
+  if (curve_.size() < 6) {
+    Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
+                                   "topp: sweep produced too little data");
+    e.diag("rates_measured", static_cast<double>(curve_.size()));
+    e.cost = session.cost();
+    return e;
+  }
 
   // Segmented (two-piece) regression, as in Melander et al.: below the
   // turning point Ri/Ro is flat (~1 plus a packet-granularity floor);
@@ -101,6 +107,9 @@ Estimate Topp::estimate(probe::ProbeSession& session) {
       Estimate e = Estimate::point(a);
       e.cost = session.cost();
       e.detail = "segmented regression: Ct=" + std::to_string(ct / 1e6) + "Mbps";
+      e.diag("rates_measured", static_cast<double>(curve_.size()));
+      e.diag("capacity_est_bps", ct);
+      e.diag("fallback", 0.0);
       return e;
     }
   }
@@ -109,11 +118,18 @@ Estimate Topp::estimate(probe::ProbeSession& session) {
   double best = 0.0;
   for (const auto& pt : curve_)
     if (pt.mean_ratio <= cfg_.turning_threshold) best = pt.offered_rate_bps;
-  if (best <= 0.0)
-    return Estimate::invalid("topp: even the lowest rate was distorted");
+  if (best <= 0.0) {
+    Estimate e = Estimate::invalid("topp: even the lowest rate was distorted");
+    e.diag("rates_measured", static_cast<double>(curve_.size()));
+    e.diag("fallback", 1.0);
+    e.cost = session.cost();
+    return e;
+  }
   Estimate e = Estimate::point(best);
   e.cost = session.cost();
   e.detail = "threshold fallback (segmented regression unusable)";
+  e.diag("rates_measured", static_cast<double>(curve_.size()));
+  e.diag("fallback", 1.0);
   return e;
 }
 

@@ -45,7 +45,6 @@ class Topp final : public Estimator {
  public:
   Topp(const ToppConfig& cfg, stats::Rng rng);
 
-  Estimate estimate(probe::ProbeSession& session) override;
   std::string_view name() const override { return "topp"; }
   ProbingClass probing_class() const override { return ProbingClass::kIterative; }
 
@@ -56,6 +55,9 @@ class Topp final : public Estimator {
   /// Estimated tight-link capacity from the regression (0 if the last run
   /// had no usable above-turning-point segment).
   double estimated_capacity_bps() const { return est_capacity_; }
+
+ protected:
+  Estimate do_estimate(probe::ProbeSession& session) override;
 
  private:
   ToppConfig cfg_;

@@ -1,0 +1,179 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace abw::obs {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kDequeue: return "dequeue";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kBusyStart: return "busy-start";
+    case EventKind::kBusyEnd: return "busy-end";
+    case EventKind::kGeTransition: return "ge-transition";
+    case EventKind::kCapacityChange: return "capacity-change";
+    case EventKind::kStreamStart: return "stream-start";
+    case EventKind::kStreamEnd: return "stream-end";
+    case EventKind::kDecision: return "decision";
+  }
+  return "unknown";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  if (!*owned_)
+    throw std::runtime_error("JsonlTraceSink: cannot open '" + path + "'");
+}
+
+namespace {
+
+// Bounded formatting cursor over a stack buffer.  Overflow is truncated,
+// never UB; with 512 bytes and bounded string fields it cannot trigger.
+struct Cursor {
+  char* p;
+  char* end;
+
+  void put(char c) {
+    if (p < end) *p++ = c;
+  }
+
+  void raw(std::string_view s) {
+    for (char c : s) put(c);
+  }
+
+  // JSON string with minimal escaping — sources/labels are identifiers,
+  // but tool-generated outcome text could in principle contain anything.
+  void str(std::string_view s) {
+    put('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': raw("\\\""); break;
+        case '\\': raw("\\\\"); break;
+        case '\n': raw("\\n"); break;
+        case '\t': raw("\\t"); break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x", c);
+            raw(esc);
+          } else {
+            put(c);
+          }
+      }
+    }
+    put('"');
+  }
+
+  void key(std::string_view k) {
+    put(',');
+    str(k);
+    put(':');
+  }
+
+  void u64(std::string_view k, std::uint64_t v) {
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    raw(buf);
+  }
+
+  void i64(std::string_view k, std::int64_t v) {
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    raw(buf);
+  }
+
+  // Shortest round-trippable decimal: %.17g is exact for double, but try
+  // %.15g first so common values print compactly and deterministically.
+  void num(std::string_view k, double v) {
+    key(k);
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+    raw(buf);
+  }
+};
+
+}  // namespace
+
+void JsonlTraceSink::emit(const TraceEvent& e) {
+  char buf[512];
+  Cursor c{buf, buf + sizeof buf};
+
+  // Common prefix: {"t":<ns>,"ev":"<kind>","src":"<source>"
+  c.raw("{\"t\":");
+  {
+    char t[24];
+    std::snprintf(t, sizeof t, "%" PRId64, static_cast<std::int64_t>(e.time));
+    c.raw(t);
+  }
+  c.key("ev");
+  c.str(event_kind_name(e.kind));
+  c.key("src");
+  c.str(e.source);
+
+  switch (e.kind) {
+    case EventKind::kEnqueue:
+    case EventKind::kDequeue:
+    case EventKind::kDeliver:
+      c.u64("pkt", e.packet_id);
+      c.u64("stream", e.stream_id);
+      c.u64("seq", e.seq);
+      c.u64("size", e.size_bytes);
+      c.u64("q", e.queue_bytes);
+      break;
+    case EventKind::kDrop:
+      c.u64("pkt", e.packet_id);
+      c.u64("stream", e.stream_id);
+      c.u64("seq", e.seq);
+      c.u64("size", e.size_bytes);
+      c.u64("q", e.queue_bytes);
+      c.key("cause");
+      c.str(e.label);
+      break;
+    case EventKind::kBusyStart:
+    case EventKind::kBusyEnd:
+      c.u64("q", e.queue_bytes);
+      break;
+    case EventKind::kGeTransition:
+      c.key("state");
+      c.str(e.label);
+      break;
+    case EventKind::kCapacityChange:
+      c.num("bps", e.value);
+      break;
+    case EventKind::kStreamStart:
+      c.u64("stream", e.stream_id);
+      c.u64("count", e.count);
+      c.u64("size", e.size_bytes);
+      break;
+    case EventKind::kStreamEnd:
+      c.u64("stream", e.stream_id);
+      c.u64("received", e.count);
+      c.u64("dup", e.seq);             // field reuse, see schema table
+      c.u64("reordered", e.size_bytes);
+      break;
+    case EventKind::kDecision:
+      c.key("what");
+      c.str(e.label);
+      c.key("outcome");
+      c.str(e.text);
+      c.u64("iter", e.count);
+      c.num("value", e.value);
+      c.num("aux", e.value2);
+      break;
+  }
+  c.put('}');
+  c.put('\n');
+  out_->write(buf, c.p - buf);
+  ++lines_;
+}
+
+}  // namespace abw::obs

@@ -1,0 +1,117 @@
+// Event tracing: the "flight recorder" of a simulated measurement.
+//
+// The paper's closing recommendation — compare tools "under reproducible
+// and controllable conditions" — needs a window into WHY a tool produced
+// a given estimate, not just the number it printed.  A TraceSink receives
+// typed events from every layer (packet enqueue/drop/dequeue/deliver with
+// queue depth, link busy-run boundaries, fault transitions, capacity
+// steps, probe stream boundaries, per-tool decisions), so any figure's
+// run can be replayed and inspected offline.
+//
+// Cost contract: observability off means a null `TraceSink*` — every
+// emission site compiles to one pointer test (see the golden determinism
+// digests and bench/micro_obs.cpp).  Emission itself draws no randomness
+// and never advances simulated time, so an enabled trace is a pure
+// side-channel: the simulation is bit-identical with any sink attached,
+// and the JSONL output is seed-stable and byte-identical across repeated
+// runs and BatchRunner thread counts.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"  // header-only; obs sits below sim in link order
+
+namespace abw::obs {
+
+/// What happened.  One enumerator per JSONL `ev` value; the field table
+/// lives in README.md ("Observability" section).
+enum class EventKind : std::uint8_t {
+  kEnqueue,         ///< packet admitted to a link queue
+  kDrop,            ///< packet lost at a link (label = cause)
+  kDequeue,         ///< packet starts serialization
+  kDeliver,         ///< packet finished serialization (departs the link)
+  kBusyStart,       ///< link turned busy (idle -> transmitting)
+  kBusyEnd,         ///< link drained (transmitting -> idle)
+  kGeTransition,    ///< Gilbert-Elliott chain changed state (label = state)
+  kCapacityChange,  ///< Link::set_capacity applied (value = new bps)
+  kStreamStart,     ///< probe stream begins (count = packets in stream)
+  kStreamEnd,       ///< probe stream drained (count = packets received)
+  kDecision,        ///< a tool-level decision (label = what, text = outcome)
+};
+
+/// Name of an event kind as written to JSONL ("enqueue", "drop", ...).
+std::string_view event_kind_name(EventKind k);
+
+/// One trace event.  Plain stack data: string_views must outlive only the
+/// emit() call (sinks that persist them copy).  Field meaning is
+/// kind-specific; the JSONL sink maps each field to a schema key per
+/// kind (e.g. for kStreamEnd, `seq` carries the duplicate count and
+/// `size_bytes` the reorder count — see the README schema table).
+struct TraceEvent {
+  EventKind kind = EventKind::kDecision;
+  sim::SimTime time = 0;        ///< simulated time of the event (ns)
+  std::string_view source;      ///< emitting component (link/tool name)
+  std::string_view label;       ///< drop cause / GE state / decision name
+  std::string_view text;        ///< decision outcome
+  std::uint64_t packet_id = 0;
+  std::uint32_t stream_id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint64_t queue_bytes = 0;  ///< link backlog AFTER the event applied
+  std::uint64_t count = 0;        ///< stream packet count / iteration index
+  double value = 0.0;             ///< kind-specific number (rate, bps, ...)
+  double value2 = 0.0;            ///< auxiliary number (ratio, fraction, ...)
+};
+
+/// Receiver of trace events.  Implementations must not throw from emit()
+/// on the hot path (I/O errors surface from flush()/destructor instead).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Discards every event, counting them — the measuring stick for pure
+/// emission overhead (bench/micro_obs.cpp) and for tests asserting that
+/// instrumented paths actually fire without paying for formatting.
+class NullTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent&) override { ++events_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+/// Writes one JSON object per line.  Formatting is fully deterministic
+/// (fixed key order per kind, integer nanosecond times, %.17g doubles),
+/// so a seeded run's trace is byte-identical across runs and thread
+/// counts.  Not thread-safe: give each BatchRunner cell its own sink.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Writes to a caller-owned stream (e.g. an ostringstream per cell).
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  /// Opens `path` for writing and owns the file; throws std::runtime_error
+  /// when the file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path);
+
+  void emit(const TraceEvent& event) override;
+  void flush() override { out_->flush(); }
+
+  /// Lines written so far.
+  std::uint64_t lines() const { return lines_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;  // set by the path constructor
+  std::ostream* out_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace abw::obs

@@ -55,6 +55,17 @@ StreamResult ProbeSession::send_stream(const StreamSpec& spec, sim::SimTime star
   received_ = 0;
   highest_seq_seen_ = -1;
 
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kStreamStart;
+    e.time = start;
+    e.source = "session";
+    e.stream_id = result.stream_id;
+    e.count = spec.packets.size();
+    e.size_bytes = spec.packets.front().size_bytes;
+    trace_->emit(e);
+  }
+
   // Hybrid mode: bracket the stream with a packet window so every link's
   // cross traffic is discrete while probes are in flight (sim/hybrid.hpp).
   bool hybrid = path_.hybrid();
@@ -71,6 +82,18 @@ StreamResult ProbeSession::send_stream(const StreamSpec& spec, sim::SimTime star
 
   active_ = nullptr;
   cost_.last_activity = sim_.now();
+
+  if (trace_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kStreamEnd;
+    e.time = sim_.now();
+    e.source = "session";
+    e.stream_id = result.stream_id;
+    e.count = received_;
+    e.seq = result.duplicate_count;        // schema: "dup"
+    e.size_bytes = result.reordered_count; // schema: "reordered"
+    trace_->emit(e);
+  }
   return result;
 }
 

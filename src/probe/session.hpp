@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "probe/stream_result.hpp"
 #include "probe/stream_spec.hpp"
 #include "sim/node.hpp"
@@ -91,6 +92,13 @@ class ProbeSession {
   /// timestamps (hence OWDs) are measured against it.
   void set_receiver_clock(const ReceiverClock& clock) { clock_ = clock; }
 
+  /// Attaches a trace sink receiving stream-start/stream-end events
+  /// (obs/trace.hpp).  nullptr disables; not owned.  Link-level packet
+  /// events are wired separately via Link::set_trace (or all at once via
+  /// core::Scenario::set_trace).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
  private:
   void on_probe(const sim::Packet& pkt, sim::SimTime now);
 
@@ -102,6 +110,7 @@ class ProbeSession {
   sim::SimTime hybrid_guard_ = 2 * sim::kMillisecond;
   ReceiverClock clock_;
   stats::Rng clock_rng_{0xC10CC10C};  ///< timestamping-jitter stream
+  obs::TraceSink* trace_ = nullptr;   ///< not owned; nullptr = tracing off
 
   std::uint32_t next_stream_id_ = 1;
   // In-flight stream state (one stream at a time, like real tools).

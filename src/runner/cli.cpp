@@ -46,6 +46,26 @@ std::size_t parse_jobs_flag(int argc, char** argv, std::size_t fallback) {
   return fallback;
 }
 
+std::string parse_string_flag(int argc, char** argv, const std::string& name,
+                              const std::string& fallback) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == flag) {
+      if (i + 1 >= argc)
+        throw std::invalid_argument(flag + ": missing value");
+      return argv[i + 1];
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      std::string value = arg.substr(flag.size() + 1);
+      if (value.empty())
+        throw std::invalid_argument(flag + ": missing value");
+      return value;
+    }
+  }
+  return fallback;
+}
+
 std::size_t jobs_from_cli(int argc, char** argv) {
   try {
     return parse_jobs_flag(argc, argv, default_jobs());

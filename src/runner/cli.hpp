@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace abw::runner {
 
@@ -22,5 +23,12 @@ std::size_t parse_jobs_flag(int argc, char** argv, std::size_t fallback);
 /// default_jobs(), but a malformed --jobs or ABW_JOBS prints the error to
 /// stderr and exits 2 instead of propagating (no aborting on a typo).
 std::size_t jobs_from_cli(int argc, char** argv);
+
+/// Parses a `--name VALUE` / `--name=VALUE` string flag from argv (pass
+/// `name` without the leading dashes).  Returns `fallback` when absent;
+/// throws std::invalid_argument when the value is missing.  Used by the
+/// observability flags (`--trace=FILE`, `--metrics=FILE`).
+std::string parse_string_flag(int argc, char** argv, const std::string& name,
+                              const std::string& fallback);
 
 }  // namespace abw::runner

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sim/link.hpp"
 
 namespace abw::sim {
@@ -58,6 +59,9 @@ SimTime FluidQueue::tx_time(std::uint32_t bytes) {
 
 void FluidQueue::absorb(const SimTime* times, const std::uint32_t* sizes,
                         std::size_t n, SimTime record_until) {
+  // Per-chunk, not per-arrival: one branch (null registry) or one clock
+  // pair per absorbed chunk of arrivals.
+  obs::ScopedTimer timer(link_.sim_.metrics(), "fluid.absorb");
   LinkStats& st = link_.stats_;
   const std::uint64_t limit = link_.cfg_.queue_limit_bytes;
   const bool tapped = static_cast<bool>(link_.tap_);

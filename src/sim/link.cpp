@@ -24,6 +24,33 @@ Link::Link(Simulator& sim, std::string name, const LinkConfig& cfg)
 
 Link::~Link() = default;
 
+void Link::emit_packet(obs::EventKind kind, const Packet& pkt,
+                       std::string_view cause) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.time = sim_.now();
+  e.source = name_;
+  e.label = cause;
+  e.packet_id = pkt.id;
+  e.stream_id = pkt.stream_id;
+  e.seq = pkt.seq;
+  e.size_bytes = pkt.size_bytes;
+  e.queue_bytes = queued_bytes_;
+  trace_->emit(e);
+}
+
+void Link::emit_simple(obs::EventKind kind, std::string_view label,
+                       double value) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.time = sim_.now();
+  e.source = name_;
+  e.label = label;
+  e.queue_bytes = queued_bytes_;
+  e.value = value;
+  trace_->emit(e);
+}
+
 void Link::handle(Packet pkt) {
   if (fluid_active_) {
     // Safety net: a discrete packet reached a link whose cross traffic is
@@ -37,12 +64,21 @@ void Link::handle(Packet pkt) {
   if (tap_) tap_(pkt, sim_.now());
   if (cfg_.random_loss_prob > 0.0 && loss_rng_.bernoulli(cfg_.random_loss_prob)) {
     ++stats_.packets_lost;
+    if (trace_) emit_packet(obs::EventKind::kDrop, pkt, "rand-loss");
     return;
   }
   if (faults_) {
-    if (faults_->ge_drop()) {
+    // The chain advances inside ge_drop(); compare states around the call
+    // so a transition is observable without perturbing the draw order.
+    const bool was_bad = faults_->bad;
+    const bool ge_dropped = faults_->ge_drop();
+    if (trace_ && faults_->bad != was_bad)
+      emit_simple(obs::EventKind::kGeTransition,
+                  faults_->bad ? "bad" : "good", 0.0);
+    if (ge_dropped) {
       ++stats_.packets_lost;
       ++stats_.packets_ge_lost;
+      if (trace_) emit_packet(obs::EventKind::kDrop, pkt, "ge-loss");
       return;
     }
     if (faults_->duplicate()) {
@@ -60,13 +96,19 @@ void Link::handle(Packet pkt) {
 void Link::admit(const Packet& pkt) {
   if (cfg_.discipline == QueueDiscipline::kRed && red_drop(pkt.size_bytes)) {
     ++stats_.packets_red_dropped;
+    if (trace_) emit_packet(obs::EventKind::kDrop, pkt, "red");
     return;
   }
   if (queued_bytes_ + pkt.size_bytes > cfg_.queue_limit_bytes) {
     ++stats_.packets_dropped;
+    if (trace_) emit_packet(obs::EventKind::kDrop, pkt, "queue");
     return;
   }
   queued_bytes_ += pkt.size_bytes;
+  if (trace_) {
+    emit_packet(obs::EventKind::kEnqueue, pkt, {});
+    if (!transmitting_) emit_simple(obs::EventKind::kBusyStart, {}, 0.0);
+  }
   if (!transmitting_) {
     // Uncongested fast path: an idle link's queue is empty (the transmit
     // loop only clears transmitting_ once it drained the queue), so the
@@ -80,6 +122,7 @@ void Link::admit(const Packet& pkt) {
 void Link::start_transmission() {
   if (queue_.empty()) {
     transmitting_ = false;
+    if (trace_) emit_simple(obs::EventKind::kBusyEnd, {}, 0.0);
     return;
   }
   begin_transmission(queue_.front());
@@ -89,6 +132,7 @@ void Link::start_transmission() {
 void Link::begin_transmission(const Packet& pkt) {
   transmitting_ = true;
   tx_pkt_ = pkt;
+  if (trace_) emit_packet(obs::EventKind::kDequeue, pkt, {});
 
   // Serialization time memo: experiments transmit runs of equal-size
   // packets, so one compare replaces a double divide on the hot path
@@ -117,6 +161,7 @@ void Link::finish_transmission() {
   queued_bytes_ -= tx_pkt_.size_bytes;
   ++stats_.packets_out;
   stats_.bytes_out += tx_pkt_.size_bytes;
+  if (trace_) emit_packet(obs::EventKind::kDeliver, tx_pkt_, {});
   if (next_ == nullptr) throw std::logic_error("Link '" + name_ + "': no next handler");
   // Deliver after propagation; capture by value so the packet survives
   // (several deliveries can be in flight at once along the propagation
@@ -203,6 +248,7 @@ void Link::set_capacity(double bps) {
   memo_tx_time_ = 0;
   meter_.set_capacity(now, bps);
   ++stats_.capacity_changes;
+  if (trace_) emit_simple(obs::EventKind::kCapacityChange, {}, bps);
   if (!transmitting_) return;
 
   // Re-plan the in-service packet: bits serialized so far stay sent, the

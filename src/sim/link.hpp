@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/packet.hpp"
 #include "sim/ring_queue.hpp"
@@ -108,6 +109,15 @@ class Link final : public PacketHandler {
   /// allocation-free operation; see tests/sim_alloc_test.cpp).
   void reserve_queue(std::size_t n) { queue_.reserve(n); }
 
+  /// Attaches a trace sink (obs/trace.hpp) receiving packet
+  /// enqueue/drop/dequeue/deliver, busy-run boundary, fault, and
+  /// capacity-change events.  nullptr (the default) disables tracing:
+  /// every emission site reduces to one null-pointer branch, and the
+  /// simulation's behavior is bit-identical with any sink attached
+  /// (emission draws no randomness and never advances time).  Not owned.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
   /// True while a transmission is in progress (the link is not idle).
   bool transmitting() const { return transmitting_; }
 
@@ -179,6 +189,10 @@ class Link final : public PacketHandler {
   void finish_transmission();  // the link's single recurring tx event
   void admit(const Packet& pkt);  // RED / queue-limit admission + enqueue
   bool red_drop(std::uint32_t size_bytes);  // RED admission decision
+  // Trace emission helpers; call only under `if (trace_)`.
+  void emit_packet(obs::EventKind kind, const Packet& pkt,
+                   std::string_view cause);
+  void emit_simple(obs::EventKind kind, std::string_view label, double value);
 
   Simulator& sim_;
   std::string name_;
@@ -205,6 +219,7 @@ class Link final : public PacketHandler {
 
   LinkStats stats_;
   UtilizationMeter meter_;
+  obs::TraceSink* trace_ = nullptr;  // not owned; nullptr = tracing off
   std::function<void(const Packet&, SimTime)> tap_;
   stats::Rng loss_rng_;
   double red_avg_bytes_ = 0.0;  // EWMA queue estimate for RED

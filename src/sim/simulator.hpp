@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -70,6 +71,14 @@ class Simulator {
   /// Pre-sizes the event queue for `n` concurrent events.
   void reserve_events(std::size_t n) { scheduler_.reserve(n); }
 
+  /// Attaches a metrics registry: the drain loops (run_until*) then time
+  /// themselves under "sim.drain" and event counts are snapshotted into
+  /// "sim.events" on each drain.  nullptr (the default) disables
+  /// profiling at the cost of one branch per drain call — never per
+  /// event.  Not owned.
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   void step();  // pop one event, advance the clock, run the callback
 
@@ -77,6 +86,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t events_processed_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; nullptr = off
 };
 
 }  // namespace abw::sim

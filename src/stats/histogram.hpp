@@ -21,6 +21,8 @@ class Histogram {
   std::size_t overflow() const { return overflow_; }
   std::size_t total() const { return total_; }
   std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
   /// Center x-value of bin i.
   double bin_center(std::size_t i) const;

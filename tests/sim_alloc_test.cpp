@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
@@ -127,6 +128,59 @@ TEST(Allocation, SteadyStatePacketEventsAreAllocationFree) {
   EXPECT_GT(events, 10000u) << "steady-state window too small to be meaningful";
   EXPECT_EQ(after, before) << "hot path allocated " << (after - before)
                            << " times over " << events << " events";
+  EXPECT_GT(sink.packets(), 4000u);
+#endif
+}
+
+// Same steady-state workload with a NullTraceSink attached to every link:
+// the obs layer's acceptance bar is that event *emission* (TraceEvent
+// fill + virtual dispatch) allocates nothing — a sink observing the hot
+// path must not reintroduce the per-event heap traffic PR 2 removed.
+TEST(Allocation, NullTraceSinkSteadyStateIsAllocationFree) {
+#ifdef ABW_SANITIZED
+  GTEST_SKIP() << "sanitizer build: allocator interposed";
+#else
+  Simulator simu;
+  LinkConfig fast, tight;
+  fast.capacity_bps = 1e9;
+  fast.propagation_delay = 100;
+  tight.capacity_bps = 5e8;
+  tight.propagation_delay = 100;
+  Path path(simu, {fast, tight});
+  CountingSink sink;
+  path.set_receiver(&sink);
+  abw::obs::NullTraceSink trace;
+  path.link(0).set_trace(&trace);
+  path.link(1).set_trace(&trace);
+
+  struct Injector {
+    Simulator* simu;
+    Path* path;
+    void operator()() {
+      Packet pkt;
+      pkt.size_bytes = 1500;
+      path->inject(0, pkt);
+      simu->after(24000, *this);
+    }
+  };
+  simu.at(0, Injector{&simu, &path});
+
+  simu.run_until(200 * 24000);
+  simu.reserve_events(64);
+  for (std::size_t i = 0; i < path.hop_count(); ++i) {
+    path.link(i).reserve_queue(64);
+    path.link(i).meter().reserve(16384);
+  }
+
+  const std::uint64_t traced_before = trace.events();
+  const std::uint64_t before = alloc_count();
+  simu.run_until(5000 * 24000);
+  const std::uint64_t after = alloc_count();
+
+  EXPECT_GT(trace.events(), traced_before + 10000u)
+      << "the sink saw too few events for the window to be meaningful";
+  EXPECT_EQ(after, before) << "trace emission allocated " << (after - before)
+                           << " times";
   EXPECT_GT(sink.packets(), 4000u);
 #endif
 }
