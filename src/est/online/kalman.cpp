@@ -1,0 +1,99 @@
+#include "est/online/kalman.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abw::est::online {
+
+KalmanTracker::KalmanTracker(const KalmanConfig& cfg) : cfg_(cfg) {
+  innovations_.reserve(cfg_.innovation_window);
+}
+
+bool KalmanTracker::do_update(const OnlineSample& s) {
+  if (s.input_rate_bps <= 0.0 || s.rate_bps <= 0.0) return false;
+  const double r = s.input_rate_bps / 1e6;  // Mb/s keeps alpha ~ beta*r
+  const double z = std::max(0.0, s.strain);
+  const bool congested = z > cfg_.strain_floor;
+
+  // Predicted strain at this rate under the current line.
+  const double pred = a_ + b_ * r;
+
+  if (!congested && (!primed_ || pred <= cfg_.strain_floor)) {
+    // Consistent sub-knee sample: Ro ~ Ri and the line agrees (or no line
+    // yet).  The linear model says nothing below the knee, so the state
+    // must not move — but "A is at least Ri" is still information: lift
+    // an estimate the sample contradicts.
+    if (primed_ && belief_.valid() && s.input_rate_bps > belief_.estimate_bps) {
+      belief_.estimate_bps = s.input_rate_bps;
+      refresh_belief(s.time);
+    }
+    return primed_;  // pre-priming sub-knee samples are unusable
+  }
+
+  // Scalar Kalman update of h = (alpha, beta), H = [1, r].
+  const double q = cfg_.process_noise;
+  p_[0] += q;
+  p_[3] += q * 1e-4;  // beta = 1/Ct drifts far slower than alpha = -A/Ct
+  const double ph0 = p_[0] + p_[1] * r;   // P H^T
+  const double ph1 = p_[2] + p_[3] * r;
+  const double innov_var = ph0 + ph1 * r + cfg_.measurement_noise;  // H P H^T + R
+  const double innovation = z - pred;
+  const double k0 = ph0 / innov_var;
+  const double k1 = ph1 / innov_var;
+  a_ += k0 * innovation;
+  b_ += k1 * innovation;
+  // Joseph-free covariance update P = (I - K H) P.
+  const double p0 = p_[0], p1 = p_[1], p2 = p_[2], p3 = p_[3];
+  p_[0] = p0 - k0 * (p0 + r * p2);
+  p_[1] = p1 - k0 * (p1 + r * p3);
+  p_[2] = p2 - k1 * (p0 + r * p2);
+  p_[3] = p3 - k1 * (p1 + r * p3);
+  primed_ = true;
+
+  // Change-point watch: standardized innovations drift one-sided when the
+  // underlying regime moved.  On alarm, inflate P so the next few samples
+  // dominate the stale state, and restart the window.
+  innovations_.push_back(innovation / std::sqrt(innov_var));
+  if (innovations_.size() > cfg_.innovation_window)
+    innovations_.erase(innovations_.begin());
+  if (innovations_.size() >= 8) {
+    if (auto shift = stats::detect_level_shift(innovations_, cfg_.cusum)) {
+      // Re-acquisition: inflate P, but never below the fresh prior — a
+      // converged filter's P is so small that a bare multiply leaves the
+      // slope state adapting orders of magnitude too slowly (the MR-BART
+      // reset heuristic).
+      p_[0] = std::max(p_[0] * cfg_.covariance_inflation, 1.0);
+      p_[1] = 0.0;
+      p_[2] = 0.0;
+      p_[3] = std::max(p_[3] * cfg_.covariance_inflation, 1e-2);
+      innovations_.clear();
+      ++change_points_;
+      decision(s.time, "change-point", shift->upward ? "up" : "down",
+               belief_.estimate_bps, static_cast<double>(change_points_));
+    }
+  }
+
+  // A physically meaningful line has beta > 0 (strain grows with rate).
+  if (b_ > 1e-6) {
+    belief_.estimate_bps = std::max(0.0, -a_ / b_) * 1e6;
+    refresh_belief(s.time);
+  }
+  return true;
+}
+
+void KalmanTracker::refresh_belief(sim::SimTime t) {
+  // Delta-method variance of A = -alpha/beta from P, mapped to a [0, 1]
+  // confidence: 1 when the estimate's relative sigma is ~0, -> 0 as the
+  // uncertainty reaches the estimate itself.
+  belief_.last_update = t;
+  if (b_ <= 1e-6) return;
+  const double g0 = -1.0 / b_;          // dA/dalpha
+  const double g1 = a_ / (b_ * b_);     // dA/dbeta
+  double var = g0 * (p_[0] * g0 + p_[1] * g1) + g1 * (p_[2] * g0 + p_[3] * g1);
+  var = std::max(var, 0.0);
+  const double rel =
+      std::sqrt(var) * 1e6 / std::max(belief_.estimate_bps, 1e5);
+  belief_.confidence = std::clamp(1.0 / (1.0 + rel), 0.0, 1.0);
+}
+
+}  // namespace abw::est::online

@@ -1,0 +1,45 @@
+#include "est/online/tcp_rate.hpp"
+
+#include <algorithm>
+
+namespace abw::est::online {
+
+TcpDeliveryRateTracker::TcpDeliveryRateTracker(const TcpRateConfig& cfg)
+    : cfg_(cfg) {}
+
+void TcpDeliveryRateTracker::attach(tcp::TcpConnection& conn) {
+  conn.set_rate_sample_hook(
+      [this](const tcp::DeliveryRateSample& s) { feed_delivery(s); });
+}
+
+FeedResult TcpDeliveryRateTracker::feed_delivery(
+    const tcp::DeliveryRateSample& s) {
+  OnlineSample o;
+  o.time = s.time;
+  o.rate_bps = s.delivery_rate_bps;
+  o.app_limited = s.app_limited;
+  // Passive samples cost no probe packets; the budget limit never trips,
+  // the deadline still does.
+  o.packets = 0;
+  return feed(o);
+}
+
+bool TcpDeliveryRateTracker::do_update(const OnlineSample& s) {
+  if (!(s.rate_bps > 0.0)) return false;
+  // tcp_rate.c contract: an app-limited sample reflects the application,
+  // not the path — it may confirm or raise the estimate, never lower it.
+  if (s.app_limited && belief_.valid() && s.rate_bps <= belief_.estimate_bps)
+    return false;
+  window_.emplace_back(s.time, s.rate_bps);
+  while (!window_.empty() && window_.front().first < s.time - cfg_.window)
+    window_.pop_front();
+  double best = 0.0;
+  for (const auto& [t, rate] : window_) best = std::max(best, rate);
+  belief_.estimate_bps = best;
+  belief_.confidence = std::min(
+      1.0, static_cast<double>(window_.size()) /
+               static_cast<double>(cfg_.full_confidence_samples));
+  return true;
+}
+
+}  // namespace abw::est::online

@@ -1,0 +1,62 @@
+// Passive online estimation from TCP delivery-rate samples.
+//
+// A bulk TCP flow continuously measures the path for free: each ACK
+// yields a delivery-rate sample bw = min(send_rate, ack_rate) (the
+// tcp_rate.c estimator; see tcp/tcp.hpp's DeliveryRateSample).  The
+// tracker maintains a windowed maximum of recent samples — the congestion
+// window's sawtooth probes above and below the sustainable rate, and the
+// window-max recovers the rate the path could deliver, while app-limited
+// samples may only *raise* the estimate (they understate the network).
+//
+// What this estimates is the flow's achievable throughput, which the
+// paper's Fig. 7 shows is systematically NOT the avail-bw (it depends on
+// Wr and on cross-traffic responsiveness) — exactly why a passive tracker
+// belongs in the comparison: it is the cheapest online estimator and the
+// one real applications (ABR video, transport stacks) actually consult.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "est/online/online.hpp"
+#include "tcp/tcp.hpp"
+
+namespace abw::est::online {
+
+/// Windowed-max filter parameters.
+struct TcpRateConfig {
+  /// Samples older than this fall out of the max filter.  Roughly a few
+  /// RTT-sawtooth periods: long enough to span a loss recovery, short
+  /// enough to track a capacity flap.
+  sim::SimTime window = 2 * sim::kSecond;
+  /// Samples needed in the window for full confidence.
+  std::uint64_t full_confidence_samples = 32;
+};
+
+/// Passive delivery-rate tracker.  Attach to a TcpConnection (or feed
+/// samples directly); the estimate is the windowed max delivery rate.
+class TcpDeliveryRateTracker final : public OnlineEstimator {
+ public:
+  explicit TcpDeliveryRateTracker(const TcpRateConfig& cfg = {});
+
+  std::string_view name() const override { return "tcp-rate"; }
+
+  /// Installs this tracker as `conn`'s rate-sample hook.  The connection
+  /// must outlive the tracker's use; re-attaching replaces the hook.
+  void attach(tcp::TcpConnection& conn);
+
+  /// Feeds one delivery-rate sample directly (what attach() wires up).
+  FeedResult feed_delivery(const tcp::DeliveryRateSample& s);
+
+  /// Samples currently inside the max window.
+  std::size_t window_samples() const { return window_.size(); }
+
+ protected:
+  bool do_update(const OnlineSample& s) override;
+
+ private:
+  TcpRateConfig cfg_;
+  std::deque<std::pair<sim::SimTime, double>> window_;  ///< (time, rate)
+};
+
+}  // namespace abw::est::online

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -48,6 +49,12 @@ void append_escaped(std::string& out, std::string_view s) {
 }
 
 void append_double(std::string& out, double v) {
+  // NaN/Inf are not JSON; gauges legitimately carry them (e.g. NaN
+  // diagnostics of invalid estimates), so serialize non-finite as null.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.15g", v);
   double back = 0.0;

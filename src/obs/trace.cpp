@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -90,8 +91,15 @@ struct Cursor {
 
   // Shortest round-trippable decimal: %.17g is exact for double, but try
   // %.15g first so common values print compactly and deterministically.
+  // Non-finite values serialize as null — snprintf's `nan`/`inf` are not
+  // JSON, and NaN is a legitimate value here (Estimate::point_bps() is
+  // deliberately NaN on invalid runs).
   void num(std::string_view k, double v) {
     key(k);
+    if (!std::isfinite(v)) {
+      raw("null");
+      return;
+    }
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.15g", v);
     double back = 0.0;

@@ -19,21 +19,27 @@ double StreamResult::input_rate_bps() const {
 }
 
 double StreamResult::output_rate_bps() const {
-  const ProbeRecord* first = nullptr;
-  const ProbeRecord* last = nullptr;
+  // The receive span must come from receive *timestamps*, not seq order:
+  // under reordering the highest-seq survivor can arrive before the
+  // lowest-seq one, which would make a seq-ordered span non-positive and
+  // silently zero the rate.  Span = max - min received over survivors;
+  // bits counted after the earliest arrival (Eq. 8's "after the first
+  // received packet").
+  const ProbeRecord* earliest = nullptr;
+  const ProbeRecord* latest = nullptr;
   std::uint64_t bits = 0;
+  std::size_t survivors = 0;
   for (const auto& p : packets) {
     if (p.lost) continue;
-    if (first == nullptr) {
-      first = &p;
-    } else {
-      bits += p.size_bytes * 8ULL;
-      last = &p;
-    }
+    ++survivors;
+    bits += p.size_bytes * 8ULL;
+    if (earliest == nullptr || p.received < earliest->received) earliest = &p;
+    if (latest == nullptr || p.received > latest->received) latest = &p;
   }
-  if (first == nullptr || last == nullptr) return 0.0;
-  sim::SimTime span = last->received - first->received;
+  if (survivors < 2) return 0.0;
+  sim::SimTime span = latest->received - earliest->received;
   if (span <= 0) return 0.0;
+  bits -= earliest->size_bytes * 8ULL;
   return static_cast<double>(bits) / sim::to_seconds(span);
 }
 

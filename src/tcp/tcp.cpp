@@ -66,7 +66,21 @@ void TcpConnection::send_segment(std::uint32_t seq) {
   pkt.exit_hop = one_hop_ ? static_cast<std::uint32_t>(hop_) : sim::kEndToEnd;
   pkt.send_time = sim_.now();
   ++segments_sent_;
-  send_times_[seq] = sim_.now();
+  // tcp_rate.c snapshot: when nothing is in flight a new sample window
+  // opens at this send (both rate denominators restart here).
+  if (next_seq_ == highest_acked_) {
+    first_sent_of_flight_ = sim_.now();
+    delivered_time_ = sim_.now();
+  }
+  TxRecord rec;
+  rec.sent = sim_.now();
+  rec.first_sent = first_sent_of_flight_;
+  rec.prior_delivered = highest_acked_;
+  rec.prior_delivered_time = delivered_time_;
+  // App-limited: after this send the write queue is empty (bounded flows
+  // only; bulk flows always have data and are window/network-limited).
+  rec.app_limited = total_segments_ != 0 && seq + 1 >= total_segments_;
+  send_times_[seq] = rec;
   path_.inject(hop_, pkt);
 }
 
@@ -94,10 +108,39 @@ void TcpConnection::on_ack(std::uint32_t cum_ack) {
     // New data acknowledged.
     auto it = send_times_.find(cum_ack - 1);
     if (it != send_times_.end()) {
-      sim::SimTime rtt = sim_.now() - it->second;
+      const TxRecord& rec = it->second;
+      sim::SimTime rtt = sim_.now() - rec.sent;
       srtt_ = srtt_ == 0 ? rtt : (7 * srtt_ + rtt) / 8;
       rto_ = std::max(cfg_.min_rto, 2 * srtt_);
+      if (rate_sample_hook_) {
+        // Delivery-rate sample over the acked segment's flight window:
+        // data delivered since its transmission, against both the
+        // send-side and ack-side intervals (tcp_rate.c).
+        std::uint32_t delivered = cum_ack - rec.prior_delivered;
+        sim::SimTime snd_span = rec.sent - rec.first_sent;
+        sim::SimTime ack_span = sim_.now() - rec.prior_delivered_time;
+        sim::SimTime span = std::max(snd_span, ack_span);
+        if (delivered > 0 && span > 0) {
+          DeliveryRateSample s;
+          s.time = sim_.now();
+          s.delivered_bytes =
+              static_cast<std::uint64_t>(delivered) * cfg_.mss_bytes;
+          double bits = static_cast<double>(s.delivered_bytes) * 8.0;
+          s.send_rate_bps =
+              snd_span > 0 ? bits / sim::to_seconds(snd_span) : 0.0;
+          s.ack_rate_bps = ack_span > 0 ? bits / sim::to_seconds(ack_span) : 0.0;
+          s.delivery_rate_bps = bits / sim::to_seconds(span);
+          s.app_limited = rec.app_limited;
+          rate_sample_hook_(s);
+        }
+      }
+      // Advance the send-side window to the delivered segment's
+      // transmission (tcp_rate.c advances first_tx_mstamp on every
+      // delivery): the next sample's send interval starts here instead of
+      // stretching back to a flight start that a bulk flow never renews.
+      first_sent_of_flight_ = rec.sent;
     }
+    delivered_time_ = sim_.now();
     send_times_.erase(send_times_.begin(), send_times_.upper_bound(cum_ack - 1));
     highest_acked_ = cum_ack;
     dupacks_ = 0;

@@ -42,6 +42,27 @@ struct TcpConfig {
 
 class TcpReceiverHub;
 
+/// One delivery-rate sample, generated per ACK that advances delivered
+/// data — the tcp_rate.c design: over the interval between a segment's
+/// transmission and its acknowledgment, measure both the send rate and
+/// the ACK rate of the data delivered in between, and take
+///
+///   bw = min(send_rate, ack_rate)
+///
+/// (the ACK rate alone can transiently exceed the bottleneck rate under
+/// ACK compression; the send rate caps it).  Samples taken while the
+/// sender had no data left to send are marked app-limited: they reflect
+/// the application, not the network, and estimators must not let them
+/// lower the estimate.
+struct DeliveryRateSample {
+  sim::SimTime time = 0;           ///< ACK arrival (sim clock)
+  std::uint64_t delivered_bytes = 0;  ///< payload delivered over the interval
+  double send_rate_bps = 0.0;      ///< delivered / send-side interval
+  double ack_rate_bps = 0.0;       ///< delivered / ack-side interval
+  double delivery_rate_bps = 0.0;  ///< min(send_rate, ack_rate)
+  bool app_limited = false;        ///< sender ran out of data in the window
+};
+
 /// One TCP Reno sender endpoint (the receiver half lives in the hub and
 /// is a cumulative-ACK generator).
 class TcpConnection {
@@ -62,6 +83,15 @@ class TcpConnection {
 
   /// Invoked when the whole transfer completes (bytes_to_send > 0 only).
   void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+
+  /// Invoked on every ACK that advances delivered data, with the
+  /// delivery-rate sample for the newly acknowledged segment's flight
+  /// window (see DeliveryRateSample).  Passive observers (the online
+  /// TcpDeliveryRateTracker) hook here; unset = zero extra work beyond
+  /// the per-segment snapshot bookkeeping.
+  void set_rate_sample_hook(std::function<void(const DeliveryRateSample&)> cb) {
+    rate_sample_hook_ = std::move(cb);
+  }
 
   /// Cumulative payload bytes acked so far.
   std::uint64_t acked_bytes() const {
@@ -108,7 +138,24 @@ class TcpConnection {
   std::uint64_t rto_epoch_ = 0;
   sim::SimTime rto_ = 1 * sim::kSecond;
   sim::SimTime srtt_ = 0;
-  std::map<std::uint32_t, sim::SimTime> send_times_;  ///< for RTT samples
+
+  /// Per-segment transmit record: the send time (for RTT samples) plus
+  /// the tcp_rate.c snapshot taken at transmission, from which the
+  /// delivery-rate sample is generated when the segment is acked.
+  struct TxRecord {
+    sim::SimTime sent = 0;            ///< transmission time
+    sim::SimTime first_sent = 0;      ///< window start: first send of flight
+    std::uint32_t prior_delivered = 0;       ///< delivered count at send
+    sim::SimTime prior_delivered_time = 0;   ///< last delivery time at send
+    bool app_limited = false;         ///< write queue empty after this send
+  };
+  std::map<std::uint32_t, TxRecord> send_times_;
+
+  // Delivery-rate bookkeeping (cumulative ACKs double as the delivered
+  // counter; delivered_time_ is the arrival of the latest advancing ACK).
+  sim::SimTime delivered_time_ = 0;
+  sim::SimTime first_sent_of_flight_ = 0;
+  std::function<void(const DeliveryRateSample&)> rate_sample_hook_;
 
   // Receiver state.
   std::uint32_t rcv_next_ = 0;           ///< next expected segment

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -315,6 +316,66 @@ TEST(MetricsSnapshot, TimersAppearOnlyWhenRequested) {
   std::string full = m.to_json(true);
   EXPECT_EQ(deterministic.find("timers"), std::string::npos);
   EXPECT_NE(full.find("\"timers\":{\"wall\":"), std::string::npos) << full;
+}
+
+// ------------------------------------------ non-finite value round-trip ---
+//
+// snprintf("%.17g") renders NaN/Inf as the bare tokens `nan` / `inf`,
+// which are NOT valid JSON — a single poisoned diagnostic used to corrupt
+// the whole metrics snapshot or trace line.  Non-finite doubles must
+// serialize as `null`.
+
+TEST(NonFiniteJson, MetricsGaugeSerializesNaNAndInfAsNull) {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  obs::MetricsRegistry m;
+  m.gauge("poisoned.nan").set(kNaN);
+  m.gauge("poisoned.pinf").set(kInf);
+  m.gauge("poisoned.ninf").set(-kInf);
+  m.gauge("healthy").set(2.5);
+  std::string json = m.to_json(false);
+  EXPECT_NE(json.find("\"poisoned.nan\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"poisoned.pinf\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"poisoned.ninf\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"healthy\":2.5"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan\":n"), json.find("nan\":null")) << json;
+  for (const char* bare : {":nan", ":inf", ":-inf"})
+    EXPECT_EQ(json.find(bare), std::string::npos) << json;
+}
+
+TEST(NonFiniteJson, HistogramWithNonFiniteBoundsStaysValidJson) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  obs::MetricsRegistry m;
+  // A histogram whose shape was (mis)configured from a poisoned value.
+  m.histogram("h", 0.0, kInf, 4).add(1.0);
+  std::string json = m.to_json(false);
+  EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hi\":null"), std::string::npos) << json;
+}
+
+TEST(NonFiniteJson, TraceEventValuesSerializeAsNull) {
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kDecision;
+  ev.time = 42;
+  ev.source = "tool";
+  ev.label = "estimate";
+  ev.text = "diverged";
+  ev.value = kNaN;
+  ev.value2 = -kInf;
+  sink.emit(ev);
+  ev.value = 12.5;
+  ev.value2 = kInf;
+  sink.emit(ev);
+  std::string lines = out.str();
+  EXPECT_NE(lines.find("\"value\":null"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"aux\":null"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"value\":12.5"), std::string::npos) << lines;
+  for (const char* bare : {":nan", ":inf", ":-inf"})
+    EXPECT_EQ(lines.find(bare), std::string::npos) << lines;
 }
 
 }  // namespace
