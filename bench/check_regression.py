@@ -23,8 +23,39 @@ Exit codes: 0 ok, 1 regression, 2 usage/file error.
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
+
+
+def parse_override(spec):
+    """Splits an `--override REGEX=FLOAT` argument into (pattern, float).
+
+    The regex may itself contain '='; the threshold is whatever follows
+    the LAST '='.
+    """
+    pattern, sep, value = spec.rpartition("=")
+    if not sep or not pattern:
+        raise argparse.ArgumentTypeError(
+            f"expected REGEX=FLOAT, got {spec!r}")
+    try:
+        threshold = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"threshold in {spec!r} is not a number")
+    try:
+        compiled = re.compile(pattern)
+    except re.error as e:
+        raise argparse.ArgumentTypeError(f"bad regex in {spec!r}: {e}")
+    return compiled, threshold
+
+
+def threshold_for(name, default, overrides):
+    """First matching override wins (re.search, so substrings match)."""
+    for pattern, value in overrides:
+        if pattern.search(name):
+            return value
+    return default
 
 
 def load_throughputs(path, missing_ok=False):
@@ -77,9 +108,17 @@ def main():
     ap.add_argument("--require-baseline", action="store_true",
                     help="fail (exit 2) when the baseline file is absent "
                          "instead of warning and skipping the gate")
+    ap.add_argument("--override", action="append", type=parse_override,
+                    default=[], metavar="REGEX=FLOAT",
+                    help="per-benchmark threshold: benchmarks whose name "
+                         "matches REGEX (re.search) use FLOAT instead of "
+                         "--threshold; repeatable, first match wins")
     args = ap.parse_args()
     if not 0 < args.threshold <= 1.5:
         sys.exit("check_regression: --threshold out of range")
+    for _, value in args.override:
+        if not 0 < value <= 1.5:
+            sys.exit("check_regression: --override threshold out of range")
 
     base = load_throughputs(args.baseline,
                             missing_ok=not args.require_baseline)
@@ -97,11 +136,12 @@ def main():
             failures.append(f"{name}: missing from current run")
             continue
         ratio = cur[name] / base[name]
-        flag = "" if ratio >= args.threshold else "  << REGRESSION"
+        threshold = threshold_for(name, args.threshold, args.override)
+        flag = "" if ratio >= threshold else "  << REGRESSION"
         print(f"{name:<28}{base[name]:>14.3e}{cur[name]:>14.3e}{ratio:>8.2f}{flag}")
-        if ratio < args.threshold:
+        if ratio < threshold:
             failures.append(f"{name}: {ratio:.2f}x of baseline "
-                            f"(threshold {args.threshold:.2f})")
+                            f"(threshold {threshold:.2f})")
     for name in sorted(set(cur) - set(base)):
         print(f"{name:<28}{'(new)':>14}{cur[name]:>14.3e}{'':>8}")
 
@@ -110,8 +150,8 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\nOK: no benchmark below "
-          f"{args.threshold:.2f}x of baseline ({len(base)} checked)")
+    print("\nOK: no benchmark below its threshold "
+          f"(default {args.threshold:.2f}x, {len(base)} checked)")
     return 0
 
 

@@ -23,9 +23,7 @@ Scenario::Scenario(std::uint64_t seed)
     : sim_(std::make_unique<sim::Simulator>()),
       rng_(std::make_unique<stats::Rng>(seed)) {}
 
-namespace {
-
-std::unique_ptr<traffic::Generator> make_generator(
+std::unique_ptr<traffic::Generator> make_cross_generator(
     sim::Simulator& sim, sim::Path& path, std::size_t hop, bool one_hop,
     std::uint32_t flow_id, stats::Rng rng, CrossModel model, double rate_bps,
     std::uint32_t packet_size, bool trimodal, double onoff_peak,
@@ -61,10 +59,8 @@ std::unique_ptr<traffic::Generator> make_generator(
           sim, path, hop, one_hop, flow_id, std::move(rng), fc);
     }
   }
-  throw std::logic_error("make_generator: unknown model");
+  throw std::logic_error("make_cross_generator: unknown model");
 }
-
-}  // namespace
 
 Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
   if (cfg.cross_rate_bps >= cfg.capacity_bps)
@@ -80,7 +76,7 @@ Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
   sc.path_ = std::make_unique<sim::Path>(*sc.sim_, std::vector<sim::LinkConfig>{link});
 
   if (cfg.cross_rate_bps > 0.0) {
-    auto gen = make_generator(
+    auto gen = make_cross_generator(
         *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
         sc.rng_->fork(), cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
         cfg.trimodal_cross_sizes, cfg.onoff_peak_rate_bps, cfg.capacity_bps);
@@ -121,7 +117,7 @@ Scenario Scenario::multi_hop(const MultiHopConfig& cfg) {
   for (std::size_t hop : cfg.loaded_hops) {
     if (hop >= cfg.hop_count)
       throw std::invalid_argument("Scenario: loaded hop out of range");
-    auto gen = make_generator(
+    auto gen = make_cross_generator(
         *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id, sc.rng_->fork(),
         cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
         /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps);

@@ -36,6 +36,17 @@ enum class CrossModel {
 
 const char* to_string(CrossModel m);
 
+/// Builds one cross-traffic generator of `model` against (sim, path):
+/// the factory behind every scenario topology (and ParallelScenario's
+/// per-domain construction).  `one_hop` selects one-hop-persistent
+/// routing, `trimodal` the 40/576/1500 Poisson size mix, `onoff_peak`
+/// the Pareto ON rate (0 = capacity).
+std::unique_ptr<traffic::Generator> make_cross_generator(
+    sim::Simulator& sim, sim::Path& path, std::size_t hop, bool one_hop,
+    std::uint32_t flow_id, stats::Rng rng, CrossModel model, double rate_bps,
+    std::uint32_t packet_size, bool trimodal, double onoff_peak,
+    double capacity_bps);
+
 /// Single-hop scenario parameters.  Defaults reproduce the paper's
 /// simulation setting: Ct = 50 Mb/s, avail-bw 25 Mb/s.
 struct SingleHopConfig {

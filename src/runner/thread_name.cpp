@@ -1,0 +1,28 @@
+#include "runner/thread_name.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#elif defined(__APPLE__)
+#include <pthread.h>
+#endif
+
+namespace abw::runner {
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // Linux truncates at 16 bytes including the terminator and fails with
+  // ERANGE beyond that; truncate ourselves so long names still stick.
+  std::string n = name.size() > 15 ? name.substr(0, 15) : name;
+  pthread_setname_np(pthread_self(), n.c_str());
+#elif defined(__APPLE__)
+  pthread_setname_np(name.c_str());
+#else
+  (void)name;  // no portable equivalent; best-effort no-op
+#endif
+}
+
+void set_current_thread_name(const char* prefix, std::size_t index) {
+  set_current_thread_name(prefix + std::to_string(index));
+}
+
+}  // namespace abw::runner

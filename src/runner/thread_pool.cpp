@@ -2,13 +2,18 @@
 
 #include <utility>
 
+#include "runner/thread_name.hpp"
+
 namespace abw::runner {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_current_thread_name("abw-batch-", i);
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

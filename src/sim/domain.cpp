@@ -1,0 +1,301 @@
+#include "sim/domain.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "runner/thread_name.hpp"
+
+namespace abw::sim {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+// A reusable two-phase barrier with a control step: the LAST arriver runs
+// `on_close` (if any) before anyone is released.  Running the control
+// step under the barrier mutex means whatever it writes — the next window
+// end, the stop flag — is visible to every worker on release with no
+// extra synchronization, and workers' phase-1/phase-2 writes are visible
+// to the control step.  std::barrier would also work, but its completion
+// type is baked into the template and this keeps the lockstep protocol
+// explicit and TSAN-obvious.
+class WindowBarrier {
+ public:
+  WindowBarrier(std::size_t parties, std::function<void()> on_close)
+      : parties_(parties), on_close_(std::move(on_close)) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t gen = gen_;
+    if (++count_ == parties_) {
+      if (on_close_) on_close_();
+      count_ = 0;
+      ++gen_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return gen_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t count_ = 0;
+  std::uint64_t gen_ = 0;
+  std::function<void()> on_close_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Domain
+
+Domain::Domain(std::vector<LinkConfig> sub_links, std::size_t begin_hop,
+               SimTime out_latency)
+    : begin_hop_(begin_hop), out_latency_(out_latency) {
+  path_ = std::make_unique<Path>(sim_, sub_links);
+}
+
+void Domain::connect_downstream(EdgeInbox& downstream) {
+  if (out_latency_ <= 0)
+    throw std::logic_error(
+        "Domain::connect_downstream: final domain has no portal");
+  portal_ = std::make_unique<DomainPortal>(sim_, downstream, out_latency_);
+  path_->set_receiver(portal_.get());
+}
+
+void Domain::run_window(SimTime end) {
+  const auto t0 = SteadyClock::now();
+  sim_.run_window(end);
+  stats_.run_seconds += seconds_since(t0);
+  ++stats_.windows;
+  stats_.events = sim_.events_processed();
+}
+
+void Domain::drain_inbox() {
+  inbox_.take(drain_scratch_);
+  if (drain_scratch_.empty()) return;
+  stats_.handoffs_in += drain_scratch_.size();
+  Link* entry = &path_->link(0);
+  for (const TimedPacket& tp : drain_scratch_) {
+    const Packet pkt = tp.pkt;  // 48B packet + 8B link: exactly inline
+    sim_.at(tp.arrival, [entry, pkt] { entry->handle(pkt); });
+  }
+  drain_scratch_.clear();
+  stats_.events = sim_.events_processed();
+}
+
+// ---------------------------------------------------------------------------
+// ParallelPath
+
+ParallelPath::ParallelPath(const std::vector<LinkConfig>& links,
+                           const PartitionPlan& plan, std::size_t threads)
+    : plan_(plan), hop_count_(links.size()) {
+  if (plan_.domain_end.empty() || plan_.domain_end.back() != links.size())
+    throw std::invalid_argument("ParallelPath: plan does not cover the path");
+  if (plan_.lookahead <= 0)
+    throw std::invalid_argument("ParallelPath: plan lookahead must be > 0");
+  const std::size_t n_domains = plan_.domain_count();
+  threads_ = threads == 0 ? n_domains : std::min(threads, n_domains);
+
+  domains_.reserve(n_domains);
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    const std::size_t b = plan_.domain_begin(d);
+    const std::size_t e = plan_.domain_end[d];
+    if (e <= b || e > links.size())
+      throw std::invalid_argument("ParallelPath: malformed domain bounds");
+    std::vector<LinkConfig> sub(links.begin() + static_cast<std::ptrdiff_t>(b),
+                                links.begin() + static_cast<std::ptrdiff_t>(e));
+    SimTime out_latency = 0;
+    if (d + 1 < n_domains) {
+      out_latency = sub.back().propagation_delay;
+      if (out_latency < plan_.lookahead)
+        throw std::invalid_argument(
+            "ParallelPath: lookahead exceeds cut-link latency at domain " +
+            std::to_string(d));
+      // The handoff portal re-adds the latency at departure time; the cut
+      // link itself must deliver to the portal immediately.
+      sub.back().propagation_delay = 0;
+    }
+    domains_.push_back(std::make_unique<Domain>(std::move(sub), b, out_latency));
+  }
+  for (std::size_t d = 0; d + 1 < n_domains; ++d)
+    domains_[d]->connect_downstream(domains_[d + 1]->inbox());
+}
+
+Link& ParallelPath::link(std::size_t global_hop) {
+  const std::size_t d = plan_.domain_of(global_hop);
+  return domains_[d]->path().link(global_hop - plan_.domain_begin(d));
+}
+
+const Link& ParallelPath::link(std::size_t global_hop) const {
+  const std::size_t d = plan_.domain_of(global_hop);
+  return domains_[d]->path().link(global_hop - plan_.domain_begin(d));
+}
+
+void ParallelPath::set_receiver(PacketHandler* receiver) {
+  domains_.back()->path().set_receiver(receiver);
+}
+
+void ParallelPath::run_until(SimTime t) { run_until_condition(t, nullptr); }
+
+bool ParallelPath::run_until_condition(SimTime t_max,
+                                       const std::function<bool()>& done) {
+  if (t_max < clock_)
+    throw std::logic_error("ParallelPath::run_until_condition: time in the past");
+  bool satisfied = done ? done() : false;
+  if (satisfied || t_max == clock_) return satisfied;
+  if (std::min(threads_, domains_.size()) <= 1)
+    run_windows_inline(t_max, done, satisfied);
+  else
+    run_windows_threaded(t_max, done, satisfied);
+  return satisfied;
+}
+
+void ParallelPath::run_windows_inline(SimTime t_max,
+                                      const std::function<bool()>& done,
+                                      bool& satisfied) {
+  // Identical per-domain operation order to the threaded engine: run every
+  // domain's window, then drain every inbox, then the control step.
+  while (!satisfied && clock_ < t_max) {
+    const SimTime end = std::min(clock_ + plan_.lookahead, t_max);
+    for (auto& d : domains_) d->run_window(end);
+    for (auto& d : domains_) d->drain_inbox();
+    clock_ = end;
+    ++windows_;
+    if (done) satisfied = done();
+  }
+}
+
+void ParallelPath::run_windows_threaded(SimTime t_max,
+                                        const std::function<bool()>& done,
+                                        bool& satisfied) {
+  const std::size_t workers = std::min(threads_, domains_.size());
+  SimTime window_end = std::min(clock_ + plan_.lookahead, t_max);
+  bool stop = false;
+
+  // Runs under the phase-2 barrier: every domain has finished [T, end) and
+  // drained its inbox, so the predicate may read any state — meters, the
+  // receiver, estimator feeds — exactly as it could between serial events.
+  auto control = [&] {
+    clock_ = window_end;
+    ++windows_;
+    if (done && done()) {
+      satisfied = true;
+      stop = true;
+      return;
+    }
+    if (clock_ >= t_max) {
+      stop = true;
+      return;
+    }
+    window_end = std::min(clock_ + plan_.lookahead, t_max);
+  };
+
+  WindowBarrier run_done(workers, nullptr);
+  WindowBarrier drain_done(workers, control);
+
+  // Worker w owns the contiguous domain range [w*D/W, (w+1)*D/W): packets
+  // only flow downstream, so contiguous ranges keep a worker's domains'
+  // inboxes mostly fed by its own upstream domain.
+  auto worker_body = [&](std::size_t w) {
+    const std::size_t d0 = w * domains_.size() / workers;
+    const std::size_t d1 = (w + 1) * domains_.size() / workers;
+    const double share = 1.0 / static_cast<double>(d1 - d0);
+    for (;;) {
+      const SimTime end = window_end;
+      for (std::size_t d = d0; d < d1; ++d) domains_[d]->run_window(end);
+      auto tw = SteadyClock::now();
+      run_done.arrive_and_wait();
+      for (std::size_t d = d0; d < d1; ++d) domains_[d]->drain_inbox();
+      drain_done.arrive_and_wait();
+      const double waited = seconds_since(tw);
+      for (std::size_t d = d0; d < d1; ++d)
+        domains_[d]->stats().wait_seconds += waited * share;
+      if (stop) break;
+    }
+  };
+
+  // The calling thread doubles as worker 0 (and keeps its own name);
+  // spawned workers 1..W-1 are named abw-dom-<w>.
+  std::vector<std::thread> spawned;
+  spawned.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w)
+    spawned.emplace_back([&worker_body, w] {
+      runner::set_current_thread_name("abw-dom-", w);
+      worker_body(w);
+    });
+  worker_body(0);
+  for (auto& t : spawned) t.join();
+}
+
+double ParallelPath::avail_bw(SimTime t1, SimTime t2) const {
+  double a = std::numeric_limits<double>::infinity();
+  for (const auto& d : domains_) a = std::min(a, d->path().avail_bw(t1, t2));
+  return a;
+}
+
+double ParallelPath::cross_avail_bw(SimTime t1, SimTime t2) const {
+  double a = std::numeric_limits<double>::infinity();
+  for (const auto& d : domains_)
+    a = std::min(a, d->path().cross_avail_bw(t1, t2));
+  return a;
+}
+
+std::size_t ParallelPath::tight_link(SimTime t1, SimTime t2) const {
+  std::size_t best = 0;
+  double a = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < hop_count_; ++g) {
+    const Link& l = link(g);
+    // Per-link meters need the owning domain's fluid state synced; the
+    // per-domain avail_bw query above does this via Path::sync_hybrid, so
+    // mirror it here through the owning sub-path.
+    const double ai = l.meter().avail_bw(t1, t2);
+    if (ai < a) {
+      a = ai;
+      best = g;
+    }
+  }
+  return best;
+}
+
+std::uint64_t ParallelPath::handoffs() const {
+  std::uint64_t n = 0;
+  for (const auto& d : domains_) n += d->inbox().total();
+  return n;
+}
+
+void ParallelPath::snapshot_metrics(obs::MetricsRegistry& m) const {
+  m.counter("pdes.domains").set(domain_count());
+  m.counter("pdes.threads").set(threads_);
+  m.counter("pdes.windows").set(windows_);
+  m.counter("pdes.handoffs").set(handoffs());
+  double run = 0.0;
+  double wait = 0.0;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    const DomainStats& s = domains_[d]->stats();
+    m.counter("pdes.domain" + std::to_string(d) + ".events").set(s.events);
+    m.counter("pdes.domain" + std::to_string(d) + ".handoffs_in")
+        .set(s.handoffs_in);
+    run += s.run_seconds;
+    wait += s.wait_seconds;
+  }
+  // Wall-clock family: quarantined from deterministic JSON like every
+  // timer (obs::MetricsRegistry::to_json(include_timers)).
+  m.timer("pdes.window_run").record(run);
+  m.timer("pdes.barrier_wait").record(wait);
+}
+
+}  // namespace abw::sim

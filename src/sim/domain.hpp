@@ -1,0 +1,248 @@
+// Conservative time-window parallel DES: one simulation sharded across
+// threads at high-latency links.
+//
+// A multi-hop path is split by a PartitionPlan (sim/partition.hpp) into
+// contiguous Domains.  Each Domain owns a full single-threaded simulation
+// world — its own sim::Scheduler/Simulator (the PR 2 pooled queue), its
+// own sub-Path, its own traffic generators with derived RNG streams — so
+// the DES hot path runs completely lock-free inside a window.  Domains
+// advance in lockstep windows of length W = the plan's lookahead (the
+// minimum cut-link propagation delay):
+//
+//   phase 1   every domain runs its events in [T, T+W) — in parallel;
+//   barrier   (handoffs pushed in phase 1 become visible downstream);
+//   phase 2   every domain drains its inbound inbox, scheduling arrival
+//             events at their exact cross-domain arrival times;
+//   barrier   the control step advances T, checks the caller's stop
+//             predicate, and publishes the next window.
+//
+// Why this is safe (the classic conservative argument): a packet departs
+// an upstream domain through its cut link at some t in [T, T+W) and
+// arrives downstream at t + d with d >= W, i.e. at or after T+W — always
+// in a strictly later window than the one that produced it, so every
+// arrival is sitting in the inbox before the window that must execute it
+// begins.  Cut links keep their full serialization behavior upstream;
+// only their propagation delay is re-expressed as the handoff latency.
+//
+// Determinism: each domain's event sequence depends only on its own
+// initial state and the sequence of inbox drains, and each drain's
+// content is pinned by the barrier protocol (everything pushed in windows
+// < k, nothing later).  The result is bit-identical for any worker count
+// — 1, 2, 4 threads or one per domain (pinned by golden digests in
+// tests/pdes_test.cpp and tests/golden_determinism_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/partition.hpp"
+#include "sim/path.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// A packet queued for cross-domain delivery at an absolute arrival time.
+struct TimedPacket {
+  SimTime arrival = 0;
+  Packet pkt;
+};
+
+/// Per-edge handoff queue between two adjacent domains.  Deliberately a
+/// plain vector: it has exactly one producer (the upstream portal, which
+/// only pushes during phase 1) and one consumer (the downstream drain,
+/// which only pops during phase 2), and the window barrier between the
+/// phases establishes the happens-before edge — so no per-packet lock or
+/// atomic is needed at all.
+class EdgeInbox {
+ public:
+  void push(SimTime arrival, const Packet& pkt) {
+    buf_.push_back({arrival, pkt});
+    ++total_;
+  }
+
+  /// Moves all pending packets into `out` (cleared first), FIFO order.
+  void take(std::vector<TimedPacket>& out) {
+    out.clear();
+    out.swap(buf_);
+  }
+
+  /// Total packets ever pushed through this edge.
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<TimedPacket> buf_;
+  std::uint64_t total_ = 0;
+};
+
+/// Installed as a non-final domain's sub-path receiver: re-expresses the
+/// cut link's propagation delay as the cross-domain handoff latency.  The
+/// cut link's own propagation delay is zeroed in the sub-path, so this
+/// handler runs at the packet's departure (serialization-complete) time
+/// and the arrival downstream is departure + latency — exactly the time
+/// the serial topology would deliver at.
+class DomainPortal final : public PacketHandler {
+ public:
+  DomainPortal(Simulator& sim, EdgeInbox& inbox, SimTime latency)
+      : sim_(sim), inbox_(inbox), latency_(latency) {}
+
+  void handle(Packet pkt) override { inbox_.push(sim_.now() + latency_, pkt); }
+
+ private:
+  Simulator& sim_;
+  EdgeInbox& inbox_;
+  SimTime latency_;
+};
+
+/// Observable per-domain accounting (wall-clock fields are measured by
+/// the worker that owns the domain and are naturally nondeterministic;
+/// everything else is bit-stable across worker counts).
+struct DomainStats {
+  std::uint64_t windows = 0;      ///< windows executed
+  std::uint64_t handoffs_in = 0;  ///< packets drained from upstream
+  std::uint64_t events = 0;       ///< events processed by the local sim
+  double run_seconds = 0.0;       ///< wall time inside run_window
+  double wait_seconds = 0.0;      ///< wall time blocked at window barriers
+};
+
+/// One shard of a partitioned simulation: a private Simulator plus the
+/// sub-path of global links [begin_hop, end_hop).  Construct via
+/// ParallelPath; direct accessors exist so callers can attach traffic
+/// generators and receivers exactly as they would on a serial Path.
+class Domain {
+ public:
+  /// `sub_links` are the domain's link configs (a cut link's propagation
+  /// delay already zeroed by ParallelPath); `out_latency` > 0 makes this
+  /// a non-final domain whose receiver is a portal of that latency.
+  Domain(std::vector<LinkConfig> sub_links, std::size_t begin_hop,
+         SimTime out_latency);
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  Simulator& simulator() { return sim_; }
+  Path& path() { return *path_; }
+  const Path& path() const { return *path_; }
+
+  /// Global index of this domain's first link.
+  std::size_t begin_hop() const { return begin_hop_; }
+  std::size_t hop_count() const { return path_->hop_count(); }
+
+  /// The inbox upstream pushes into (domain 0's is never used).
+  EdgeInbox& inbox() { return inbox_; }
+
+  /// Wires the outbound portal to the downstream domain's inbox.  Must be
+  /// called for every non-final domain before the first window.
+  void connect_downstream(EdgeInbox& downstream);
+
+  /// Phase 1: runs all local events in [now, end), leaving the clock at
+  /// `end`.
+  void run_window(SimTime end);
+
+  /// Phase 2: schedules every pending inbound packet at its arrival time
+  /// (all arrivals are >= the clock after run_window — guaranteed by the
+  /// lookahead rule).  FIFO inbox order, so event seq assignment — and
+  /// therefore same-nanosecond tie-breaking — is identical for any worker
+  /// count.
+  void drain_inbox();
+
+  const DomainStats& stats() const { return stats_; }
+  DomainStats& stats() { return stats_; }
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Path> path_;
+  std::size_t begin_hop_;
+  SimTime out_latency_;
+  EdgeInbox inbox_;                       // inbound (upstream pushes)
+  std::unique_ptr<DomainPortal> portal_;  // outbound (non-final domains)
+  std::vector<TimedPacket> drain_scratch_;
+  DomainStats stats_;
+};
+
+/// A multi-hop path sharded into Domains and driven in conservative
+/// lockstep windows, optionally across worker threads.  The serial-path
+/// query surface (per-link meters, ground-truth avail-bw) is mirrored
+/// with global hop indices.
+///
+/// Threading contract: between run calls the object is plain
+/// single-threaded state — attach generators, inject packets, query
+/// meters freely.  During run_until*/run windows, domain state must only
+/// be touched by the owning worker (the library's own components respect
+/// this by construction).
+class ParallelPath {
+ public:
+  /// Builds the domains for `links` under `plan`.  `threads` caps the
+  /// worker count (clamped to the domain count; 0 = one per domain).
+  /// Worker threads are spawned per run call and named "abw-dom-N".
+  ParallelPath(const std::vector<LinkConfig>& links, const PartitionPlan& plan,
+               std::size_t threads);
+
+  ParallelPath(const ParallelPath&) = delete;
+  ParallelPath& operator=(const ParallelPath&) = delete;
+
+  std::size_t domain_count() const { return domains_.size(); }
+  std::size_t hop_count() const { return hop_count_; }
+  std::size_t threads() const { return threads_; }
+  SimTime lookahead() const { return plan_.lookahead; }
+  const PartitionPlan& plan() const { return plan_; }
+
+  Domain& domain(std::size_t d) { return *domains_.at(d); }
+  const Domain& domain(std::size_t d) const { return *domains_.at(d); }
+
+  /// Global-hop-indexed link access (maps into the owning domain).
+  Link& link(std::size_t global_hop);
+  const Link& link(std::size_t global_hop) const;
+
+  /// Sets the end host receiving end-to-end packets (last domain).
+  void set_receiver(PacketHandler* receiver);
+
+  /// Common clock: every domain sits at this time between run calls.
+  SimTime now() const { return clock_; }
+
+  /// Runs all domains to `t` in lockstep windows.
+  void run_until(SimTime t);
+
+  /// Runs windows until `done()` (evaluated between windows, under the
+  /// barrier — so it may safely read any domain's state) returns true or
+  /// the clock reaches `t_max`.  Returns whether `done` was satisfied.
+  bool run_until_condition(SimTime t_max, const std::function<bool()>& done);
+
+  /// Ground-truth queries over global links, mirroring sim::Path.
+  double avail_bw(SimTime t1, SimTime t2) const;
+  double cross_avail_bw(SimTime t1, SimTime t2) const;
+  std::size_t tight_link(SimTime t1, SimTime t2) const;
+
+  /// Total cross-domain packet handoffs so far.
+  std::uint64_t handoffs() const;
+
+  /// Windows executed so far.
+  std::uint64_t windows() const { return windows_; }
+
+  /// Snapshots domain accounting into `m`: "pdes.windows",
+  /// "pdes.handoffs", per-domain "pdes.domain<d>.events" counters, and
+  /// the wall-clock "pdes.window_run" / "pdes.barrier_wait" timers (the
+  /// nondeterministic family — excluded from to_json(false) like every
+  /// timer).
+  void snapshot_metrics(obs::MetricsRegistry& m) const;
+
+ private:
+  void run_windows_inline(SimTime t_max, const std::function<bool()>& done,
+                          bool& satisfied);
+  void run_windows_threaded(SimTime t_max, const std::function<bool()>& done,
+                            bool& satisfied);
+
+  PartitionPlan plan_;
+  std::size_t hop_count_;
+  std::size_t threads_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  SimTime clock_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace abw::sim

@@ -7,6 +7,12 @@
 
 namespace abw::sim {
 
+namespace {
+// Minimum remaining arrivals before the vectorized bulk path is worth its
+// precompute pass; short tails go through the scalar loop unchanged.
+constexpr std::size_t kBulkThreshold = 16;
+}  // namespace
+
 FluidQueue::FluidQueue(Link& link) : link_(link) {}
 
 void FluidQueue::reset(SimTime now) {
@@ -57,6 +63,82 @@ SimTime FluidQueue::tx_time(std::uint32_t bytes) {
   return tx;
 }
 
+std::size_t FluidQueue::bulk_retire(const SimTime* times,
+                                    const std::uint32_t* sizes, std::size_t i,
+                                    std::size_t n, SimTime record_until,
+                                    bool tapped, std::uint64_t& d_pkts,
+                                    std::uint64_t& d_bytes) {
+  const std::size_t len = n - i;
+  const SimTime* t = times + i;
+  const std::uint32_t* sz = sizes + i;
+  const double bps = link_.cfg_.capacity_bps;
+  const std::uint64_t limit = link_.cfg_.queue_limit_bytes;
+
+  // Pass 1 (SIMD): per-arrival serialization times.  transmission_time is
+  // the exact expression the memoized scalar path caches, so the values —
+  // and everything derived from them — are bit-identical.
+  vtx_.resize(len);
+  SimTime* tx = vtx_.data();
+#pragma omp simd
+  for (std::size_t k = 0; k < len; ++k) tx[k] = transmission_time(sz[k], bps);
+
+  // Pass 2: unrolled Lindley recurrence.  With TxP[k] = sum of tx before
+  // k and A[k] = t[k] - TxP[k], the FIFO departure frontier after serving
+  // k is dep[k] = max_{j<=k} A[j] + TxP[k+1] — all integer adds, so the
+  // unrolled form reproduces the scalar run_free chain exactly.  Arrival
+  // k starts a new busy run iff A[k] >= max_{j<k} A[j] (i.e. t[k] >= the
+  // previous frontier).  Runs are retired as their boundary is found; the
+  // first run that could drop (bytes > limit) or that ends past the
+  // recording horizon stops the bulk path at its start, exactly where the
+  // scalar retirement loop would hand over to the per-packet path.
+  std::size_t a = 0;           // current run start (local index)
+  std::uint64_t run_bytes = 0; // bytes in the current run
+  SimTime txp = 0;             // TxP[k]
+  SimTime m = 0;               // max A over [0, k)
+  SimTime prev_dep = 0;        // dep[k-1]
+  std::size_t stop = len;      // where the bulk path hands over
+
+  auto retire = [&](std::size_t b, SimTime run_end) {
+    if (run_bytes > limit || run_end > record_until) {
+      stop = a;
+      return false;
+    }
+    if (tapped) {
+      for (std::size_t k = a; k < b; ++k) {
+        Packet pkt;
+        pkt.type = PacketType::kCross;
+        pkt.size_bytes = sz[k];
+        pkt.flow_id = flow_id_;
+        pkt.exit_hop = exit_hop_;
+        pkt.send_time = t[k];
+        link_.tap_(pkt, t[k]);
+      }
+    }
+    d_pkts += b - a;
+    d_bytes += run_bytes;
+    link_.meter_.add_busy(t[a], run_end, /*measurement=*/false);
+    emitted_until_ = run_end;
+    free_at_ = run_end;
+    bulk_packets_ += b - a;
+    return true;
+  };
+
+  for (std::size_t k = 0; k < len; ++k) {
+    const SimTime aval = t[k] - txp;
+    if (k > 0 && aval >= m) {  // boundary: run [a, k) is complete
+      if (!retire(k, prev_dep)) break;
+      a = k;
+      run_bytes = 0;
+    }
+    if (k == 0 || aval > m) m = aval;
+    txp += tx[k];
+    prev_dep = m + txp;
+    run_bytes += sz[k];
+  }
+  if (stop == len && !retire(len, prev_dep)) stop = a;
+  return i + stop;
+}
+
 void FluidQueue::absorb(const SimTime* times, const std::uint32_t* sizes,
                         std::size_t n, SimTime record_until) {
   // Per-chunk, not per-arrival: one branch (null registry) or one clock
@@ -71,11 +153,30 @@ void FluidQueue::absorb(const SimTime* times, const std::uint32_t* sizes,
   // reload/store of every counter per retired run.
   std::uint64_t d_pkts_in = 0, d_bytes_in = 0;
   std::uint64_t d_pkts_out = 0, d_bytes_out = 0, d_dropped = 0;
+  // One bulk attempt per absorb: the vectorized path stops exactly at the
+  // first run that could drop or that straddles the horizon, and such a
+  // run stays problematic for the rest of the chunk — re-engaging would
+  // only re-scan it.
+  bool bulk_ok = vectorized_;
   std::size_t i = 0;
   while (i < n) {
     SimTime t = times[i];
     if (head_ != q_.size()) pop_departures(t);
-    if (head_ == q_.size() && t >= free_at_) {
+    if (head_ == q_.size() && t >= free_at_ && bulk_ok &&
+        n - i >= kBulkThreshold) {
+      bulk_ok = false;
+      emit_busy(record_until);  // close the previous run (ends <= t)
+      std::uint64_t bp = 0, bb = 0;
+      i = bulk_retire(times, sizes, i, n, record_until, tapped, bp, bb);
+      d_pkts_in += bp;
+      d_bytes_in += bb;
+      d_pkts_out += bp;
+      d_bytes_out += bb;
+      if (i == n) break;
+      t = times[i];
+      // Falls through to the per-packet path for the handed-over arrival,
+      // exactly like a scalar retirement-loop break.
+    } else if (head_ == q_.size() && t >= free_at_) {
       // Whole-run retirement: an idle, empty server at t starts a fresh
       // busy run — scan forward while each arrival lands before the
       // accumulated departure frontier (the exact FIFO run boundary).  If

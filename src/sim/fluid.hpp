@@ -78,6 +78,17 @@ class FluidQueue {
   /// Packets currently in the fluid system.
   std::size_t in_system() const { return q_.size() - head_; }
 
+  /// Selects the vectorized bulk-retirement path inside absorb() (default
+  /// on).  Both settings produce bit-identical stats, meter contents, and
+  /// tap streams — the toggle exists for benchmarking and for the
+  /// equivalence tests that prove it.
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
+  /// Packets retired through the vectorized bulk path (lets tests assert
+  /// the fast path actually engaged, not just that results agree).
+  std::uint64_t bulk_packets() const { return bulk_packets_; }
+
  private:
   struct InFlight {
     SimTime dep = 0;            ///< departure (service completion) time
@@ -87,6 +98,18 @@ class FluidQueue {
   void pop_departures(SimTime t);  // count out everything with dep <= t
   void emit_busy(SimTime upto);    // record [emitted_until_, min(upto, free_at_))
   SimTime tx_time(std::uint32_t bytes);  // memoized transmission_time()
+
+  // Vectorized whole-run retirement over arrivals [i, n): SoA passes
+  // (transmission times, then an unrolled Lindley recurrence over prefix
+  // sums) retire every complete busy run in bulk.  Returns the index of
+  // the first unretired arrival (== n when the whole tail retired);
+  // `d_pkts`/`d_bytes` accumulate the retired packet/byte counts (in ==
+  // out for a retired run).  Caller must hold the scalar engage
+  // invariant: empty queue, times[i] >= free_at_, previous run emitted.
+  std::size_t bulk_retire(const SimTime* times, const std::uint32_t* sizes,
+                          std::size_t i, std::size_t n, SimTime record_until,
+                          bool tapped, std::uint64_t& d_pkts,
+                          std::uint64_t& d_bytes);
 
   struct TxMemo {
     std::uint32_t bytes = 0;
@@ -110,6 +133,9 @@ class FluidQueue {
   std::array<TxMemo, 4> tx_memo_{};
   std::size_t tx_memo_used_ = 0;
   std::size_t tx_memo_evict_ = 0;
+  bool vectorized_ = true;
+  std::uint64_t bulk_packets_ = 0;
+  std::vector<SimTime> vtx_;  // SoA scratch: per-arrival tx times (bulk path)
 };
 
 }  // namespace abw::sim

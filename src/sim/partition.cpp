@@ -1,0 +1,87 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace abw::sim {
+
+std::size_t PartitionPlan::domain_of(std::size_t hop) const {
+  for (std::size_t d = 0; d < domain_end.size(); ++d)
+    if (hop < domain_end[d]) return d;
+  throw std::out_of_range("PartitionPlan::domain_of: hop past the last domain");
+}
+
+PartitionPlan plan_from_cuts(const std::vector<LinkConfig>& links,
+                             const std::vector<std::size_t>& cuts) {
+  if (links.empty()) throw std::invalid_argument("plan_from_cuts: empty path");
+  PartitionPlan plan;
+  plan.lookahead = kMillisecond;  // single-domain pacing default
+  std::size_t prev_end = 0;
+  for (std::size_t cut : cuts) {
+    if (cut + 1 >= links.size())
+      throw std::invalid_argument(
+          "plan_from_cuts: the final link cannot be a cut (no downstream "
+          "domain)");
+    if (cut + 1 <= prev_end)
+      throw std::invalid_argument("plan_from_cuts: cuts must be ascending");
+    SimTime d = links[cut].propagation_delay;
+    if (d <= 0)
+      throw std::invalid_argument(
+          "plan_from_cuts: cut link " + std::to_string(cut) +
+          " has zero propagation delay (no lookahead)");
+    plan.lookahead = plan.domain_end.empty() ? d : std::min(plan.lookahead, d);
+    plan.domain_end.push_back(cut + 1);
+    prev_end = cut + 1;
+  }
+  plan.domain_end.push_back(links.size());
+  return plan;
+}
+
+PartitionPlan plan_partition(const std::vector<LinkConfig>& links,
+                             std::size_t max_domains,
+                             SimTime min_cut_latency) {
+  if (max_domains == 0)
+    throw std::invalid_argument("plan_partition: max_domains must be >= 1");
+  if (links.empty()) throw std::invalid_argument("plan_partition: empty path");
+
+  // Cut candidates: links with enough latency to serve as a lookahead
+  // boundary.  The final link never qualifies (nothing is downstream).
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i + 1 < links.size(); ++i)
+    if (links[i].propagation_delay >= min_cut_latency &&
+        links[i].propagation_delay > 0)
+      candidates.push_back(i);
+
+  std::size_t domains = std::min(max_domains, candidates.size() + 1);
+  // Greedy balance: for the k-th ideal boundary (k * H / domains links per
+  // domain), take the nearest still-unused candidate.  Candidates and
+  // ideals are both ascending, so a single forward scan suffices and the
+  // chosen cuts come out ascending.
+  std::vector<std::size_t> cuts;
+  cuts.reserve(domains - 1);
+  std::size_t c = 0;
+  for (std::size_t k = 1; k < domains && c < candidates.size(); ++k) {
+    std::size_t ideal = k * links.size() / domains;  // boundary after this many links
+    auto dist = [ideal](std::size_t cand) {
+      std::size_t edge = cand + 1;
+      return edge > ideal ? edge - ideal : ideal - edge;
+    };
+    std::size_t best = c;
+    while (best + 1 < candidates.size() &&
+           dist(candidates[best + 1]) <= dist(candidates[best]))
+      ++best;
+    // Keep at least one candidate per remaining boundary when possible
+    // (never moving back before the first unused candidate).
+    std::size_t remaining_after = domains - 1 - k;
+    if (candidates.size() - best - 1 < remaining_after) {
+      std::size_t pulled = candidates.size() - 1 - remaining_after;
+      best = pulled > c ? pulled : c;
+    }
+    cuts.push_back(candidates[best]);
+    c = best + 1;
+  }
+  return plan_from_cuts(links, cuts);
+}
+
+}  // namespace abw::sim

@@ -1,0 +1,67 @@
+// Partition planning for conservative parallel DES (sim/domain.hpp).
+//
+// A multi-hop path is sharded into contiguous *domains* at "cut" links.
+// The classic conservative-synchronization argument fixes which cuts are
+// legal: domains advance in lockstep windows of length W, and a packet
+// departing an upstream domain through a cut link of propagation delay d
+// cannot arrive downstream earlier than d after its departure.  With
+// W <= min over cut links of d, every arrival that lands inside window k
+// was produced in a window strictly before k — so each domain can run a
+// whole window without ever waiting on its neighbors mid-window.  W is
+// the *lookahead* of the partition; cutting at high-latency links is what
+// buys useful lookahead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/time.hpp"
+
+namespace abw::sim {
+
+/// A partition of an H-link path into contiguous domains.
+struct PartitionPlan {
+  /// One-past-the-last global link index of each domain, ascending; the
+  /// last entry equals the path's hop count.  {H} is the trivial
+  /// single-domain plan.  Every non-final boundary link (index
+  /// domain_end[i] - 1) is a cut link: its propagation delay is the
+  /// handoff latency into the next domain.
+  std::vector<std::size_t> domain_end;
+
+  /// Synchronization window: the minimum cut-link propagation delay (the
+  /// plan's lookahead).  For a single-domain plan there is no cut; the
+  /// window defaults to kMillisecond and only paces the driver loop.
+  SimTime lookahead = 0;
+
+  std::size_t domain_count() const { return domain_end.size(); }
+
+  /// First global link index of domain d.
+  std::size_t domain_begin(std::size_t d) const {
+    return d == 0 ? 0 : domain_end[d - 1];
+  }
+
+  /// Domain owning global link `hop`.
+  std::size_t domain_of(std::size_t hop) const;
+};
+
+/// Builds a plan from explicit cut points: `cuts` lists the global index
+/// of each cut link (the link whose delivery crosses into the next
+/// domain), strictly ascending, each < links.size() - 1... the final link
+/// can never be a cut (there is no downstream domain).  Computes the
+/// lookahead and validates every cut: a cut link must have a positive
+/// propagation delay (zero lookahead would force zero-length windows).
+/// Throws std::invalid_argument on an illegal cut.
+PartitionPlan plan_from_cuts(const std::vector<LinkConfig>& links,
+                             const std::vector<std::size_t>& cuts);
+
+/// Plans up to `max_domains` balanced domains automatically: only links
+/// with propagation delay >= `min_cut_latency` are cut candidates, and
+/// among legal candidates the planner picks cuts closest to the ideal
+/// equal-size boundaries.  Falls back to fewer domains (ultimately one)
+/// when there are not enough candidates.  max_domains == 0 is an error.
+PartitionPlan plan_partition(const std::vector<LinkConfig>& links,
+                             std::size_t max_domains,
+                             SimTime min_cut_latency = kMicrosecond);
+
+}  // namespace abw::sim

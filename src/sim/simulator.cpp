@@ -26,6 +26,15 @@ void Simulator::run_until(SimTime t) {
   if (metrics_) metrics_->counter("sim.events").set(events_processed_);
 }
 
+void Simulator::run_window(SimTime end) {
+  if (end < now_)
+    throw std::logic_error("Simulator::run_window: window end in the past");
+  obs::ScopedTimer timer(metrics_, kDrainTimer);
+  while (!scheduler_.empty() && scheduler_.next_time_unchecked() < end) step();
+  now_ = end;
+  if (metrics_) metrics_->counter("sim.events").set(events_processed_);
+}
+
 bool Simulator::run_until_condition(SimTime t_max,
                                     const std::function<bool()>& done) {
   obs::ScopedTimer timer(metrics_, kDrainTimer);
