@@ -22,6 +22,13 @@
 //       single-core host this is ~1 or below (the committed baseline
 //       records the honest number for its machine); on real multi-core
 //       hardware it tracks the scaling win.
+//   PDES_1k
+//       items_per_second = hops per wall second for the pinned 1000-hop
+//       16-domain configuration: partition planning, per-domain world
+//       construction, and ONE lockstep lookahead window.  Pins the
+//       at-scale setup cost so a super-linear regression in planning or
+//       domain construction fails the gate before anyone runs a long
+//       scenario on a wide topology.
 //
 // Every row is min-of-3 wall time (same noise remedy as micro_sim's
 // fluid comparison); the scenario physics are deterministic across
@@ -146,6 +153,40 @@ ScaleRun run_domains(std::size_t threads) {
   return r;
 }
 
+// The pinned at-scale configuration: 1000 hops, automatic 16-domain
+// partition, hybrid mode (background load stays fluid, so the row times
+// the engine — planning, construction, window protocol — not packet
+// churn).  Measures plan + build + exactly one lookahead window.
+ScaleRun run_1k() {
+  core::ParallelScenarioConfig cfg;
+  cfg.hop_count = 1000;
+  cfg.capacity_bps = 50e6;
+  cfg.cross_rate_bps = 30e6;
+  cfg.mode = sim::SimMode::kHybrid;
+  cfg.model = core::CrossModel::kPoisson;
+  cfg.propagation_delay = 5 * sim::kMillisecond;
+  cfg.traffic_horizon = sim::kSecond;
+  cfg.warmup = 0;
+  cfg.seed = 23;
+  cfg.domains = 16;
+  cfg.threads = 0;
+
+  ScaleRun r;
+  const double w0 = runner::monotonic_seconds();
+  core::ParallelScenario sc(cfg);
+  const sim::SimTime t0 = sc.now();
+  sc.run_until(t0 + sc.parallel().lookahead());
+  r.seconds = runner::monotonic_seconds() - w0;
+  r.sim_seconds = sim::to_seconds(sc.now() - t0);
+  // Rep-consistency check: the plan itself (cut positions + lookahead)
+  // and the window count must not wobble across repetitions.
+  r.check = sc.parallel().windows();
+  r.check = r.check * 1009 + sc.parallel().domain_count();
+  r.check = r.check * 1009 + static_cast<std::uint64_t>(sc.plan().lookahead);
+  for (std::size_t end : sc.plan().domain_end) r.check = r.check * 1009 + end;
+  return r;
+}
+
 template <typename Fn, typename Run>
 Run min_of_reps(Fn&& run, Run first, int kReps = 5) {
   Run best = first;
@@ -194,6 +235,8 @@ int main() {
   double best_multi = scale[1].seconds < scale[2].seconds ? scale[1].seconds
                                                           : scale[2].seconds;
 
+  ScaleRun wide = min_of_reps([] { return run_1k(); }, run_1k(), 3);
+
   const Row rows[] = {
       {"PDES_absorb_scalar", scalar.packets / scalar.seconds, scalar.seconds},
       {"PDES_absorb_simd", simd.packets / simd.seconds, simd.seconds},
@@ -206,6 +249,7 @@ int main() {
       {"PDES_domains_4t", scale[2].sim_seconds / scale[2].seconds,
        scale[2].seconds},
       {"PDES_parallel_speedup", scale[0].seconds / best_multi, best_multi},
+      {"PDES_1k", 1000.0 / wide.seconds, wide.seconds},
   };
   constexpr std::size_t kRows = sizeof(rows) / sizeof(rows[0]);
 

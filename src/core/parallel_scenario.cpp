@@ -81,6 +81,10 @@ ParallelScenario::ParallelScenario(const ParallelScenarioConfig& cfg)
   if (loaded.empty())
     for (std::size_t h = 0; h < cfg.hop_count; ++h) loaded.push_back(h);
 
+  CrossSpec spec;
+  spec.model = cfg.model;
+  spec.packet_size = cfg.cross_packet_size;
+  spec.capacity_bps = cfg.capacity_bps;
   for (std::size_t hop : loaded) {
     if (hop >= cfg.hop_count)
       throw std::invalid_argument("ParallelScenario: loaded hop out of range");
@@ -93,25 +97,19 @@ ParallelScenario::ParallelScenario(const ParallelScenarioConfig& cfg)
     const std::uint32_t base_id =
         1000 + static_cast<std::uint32_t>(hop * flows);
     if (cfg.mode == sim::SimMode::kHybrid) {
-      auto gen = make_cross_generator(
-          dom.simulator(), dom.path(), local, /*one_hop=*/true, base_id,
-          stats::Rng(hop_seed), cfg.model, hop_load, cfg.cross_packet_size,
-          /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps);
-      hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
-          dom.simulator(), dom.path(), local, /*one_hop=*/true, base_id,
-          std::move(gen)));
-      hybrid_sources_.back()->start(0, cfg.traffic_horizon);
+      // One aggregate fluid source models the superposition (exact in
+      // distribution for Poisson) — the one-fluid-source-per-link envelope.
+      spec.rate_bps = hop_load;
+      cross_.attach(dom.simulator(), dom.path(), local, /*one_hop=*/true,
+                    base_id, stats::Rng(hop_seed), cfg.mode, spec, 0,
+                    cfg.traffic_horizon);
     } else {
-      for (std::size_t f = 0; f < flows; ++f) {
-        auto gen = make_cross_generator(
-            dom.simulator(), dom.path(), local, /*one_hop=*/true,
-            base_id + static_cast<std::uint32_t>(f),
-            stats::Rng(runner::derive_seed(hop_seed, f)), cfg.model,
-            cfg.cross_rate_bps, cfg.cross_packet_size, /*trimodal=*/false,
-            /*onoff_peak=*/0.0, cfg.capacity_bps);
-        generators_.push_back(std::move(gen));
-        generators_.back()->start(0, cfg.traffic_horizon);
-      }
+      spec.rate_bps = cfg.cross_rate_bps;
+      for (std::size_t f = 0; f < flows; ++f)
+        cross_.attach(dom.simulator(), dom.path(), local, /*one_hop=*/true,
+                      base_id + static_cast<std::uint32_t>(f),
+                      stats::Rng(runner::derive_seed(hop_seed, f)), cfg.mode,
+                      spec, 0, cfg.traffic_horizon);
     }
   }
 

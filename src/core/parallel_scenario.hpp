@@ -114,8 +114,7 @@ class ParallelScenario {
 
   ParallelScenarioConfig cfg_;
   std::unique_ptr<sim::ParallelPath> ppath_;
-  std::vector<std::unique_ptr<traffic::Generator>> generators_;
-  std::vector<std::unique_ptr<traffic::HybridCrossSource>> hybrid_sources_;
+  CrossTraffic cross_;
   std::unique_ptr<Receiver> receiver_;
   double nominal_avail_bw_ = 0.0;
   std::uint32_t next_stream_id_ = 1;

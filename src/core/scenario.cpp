@@ -62,6 +62,34 @@ std::unique_ptr<traffic::Generator> make_cross_generator(
   throw std::logic_error("make_cross_generator: unknown model");
 }
 
+void CrossTraffic::attach(sim::Simulator& sim, sim::Path& path,
+                          std::size_t hop, bool one_hop,
+                          std::uint32_t flow_id, stats::Rng rng,
+                          sim::SimMode mode, const CrossSpec& spec,
+                          sim::SimTime t0, sim::SimTime horizon) {
+  adopt(sim, path, hop, one_hop, flow_id, mode,
+        make_cross_generator(sim, path, hop, one_hop, flow_id, std::move(rng),
+                             spec.model, spec.rate_bps, spec.packet_size,
+                             spec.trimodal, spec.onoff_peak,
+                             spec.capacity_bps),
+        t0, horizon);
+}
+
+void CrossTraffic::adopt(sim::Simulator& sim, sim::Path& path,
+                         std::size_t hop, bool one_hop, std::uint32_t flow_id,
+                         sim::SimMode mode,
+                         std::unique_ptr<traffic::Generator> gen,
+                         sim::SimTime t0, sim::SimTime horizon) {
+  if (mode == sim::SimMode::kHybrid) {
+    hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
+        sim, path, hop, one_hop, flow_id, std::move(gen)));
+    hybrid_sources_.back()->start(t0, horizon);
+  } else {
+    generators_.push_back(std::move(gen));
+    generators_.back()->start(t0, horizon);
+  }
+}
+
 Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
   if (cfg.cross_rate_bps >= cfg.capacity_bps)
     throw std::invalid_argument("Scenario: cross rate must be below capacity");
@@ -76,19 +104,16 @@ Scenario Scenario::single_hop(const SingleHopConfig& cfg) {
   sc.path_ = std::make_unique<sim::Path>(*sc.sim_, std::vector<sim::LinkConfig>{link});
 
   if (cfg.cross_rate_bps > 0.0) {
-    auto gen = make_cross_generator(
-        *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
-        sc.rng_->fork(), cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
-        cfg.trimodal_cross_sizes, cfg.onoff_peak_rate_bps, cfg.capacity_bps);
-    if (cfg.mode == sim::SimMode::kHybrid) {
-      sc.hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
-          *sc.sim_, *sc.path_, 0, /*one_hop=*/false, /*flow_id=*/1000,
-          std::move(gen)));
-      sc.hybrid_sources_.back()->start(0, cfg.traffic_horizon);
-    } else {
-      sc.generators_.push_back(std::move(gen));
-      sc.generators_.back()->start(0, cfg.traffic_horizon);
-    }
+    CrossSpec spec;
+    spec.model = cfg.model;
+    spec.rate_bps = cfg.cross_rate_bps;
+    spec.packet_size = cfg.cross_packet_size;
+    spec.trimodal = cfg.trimodal_cross_sizes;
+    spec.onoff_peak = cfg.onoff_peak_rate_bps;
+    spec.capacity_bps = cfg.capacity_bps;
+    sc.cross_.attach(*sc.sim_, *sc.path_, 0, /*one_hop=*/false,
+                     /*flow_id=*/1000, sc.rng_->fork(), cfg.mode, spec, 0,
+                     cfg.traffic_horizon);
   }
 
   sc.session_ = std::make_unique<probe::ProbeSession>(*sc.sim_, *sc.path_);
@@ -113,22 +138,17 @@ Scenario Scenario::multi_hop(const MultiHopConfig& cfg) {
   sc.path_ = std::make_unique<sim::Path>(
       *sc.sim_, std::vector<sim::LinkConfig>(cfg.hop_count, link));
 
+  CrossSpec spec;
+  spec.model = cfg.model;
+  spec.rate_bps = cfg.cross_rate_bps;
+  spec.packet_size = cfg.cross_packet_size;
+  spec.capacity_bps = cfg.capacity_bps;
   std::uint32_t flow_id = 1000;
   for (std::size_t hop : cfg.loaded_hops) {
     if (hop >= cfg.hop_count)
       throw std::invalid_argument("Scenario: loaded hop out of range");
-    auto gen = make_cross_generator(
-        *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id, sc.rng_->fork(),
-        cfg.model, cfg.cross_rate_bps, cfg.cross_packet_size,
-        /*trimodal=*/false, /*onoff_peak=*/0.0, cfg.capacity_bps);
-    if (cfg.mode == sim::SimMode::kHybrid) {
-      sc.hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
-          *sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id, std::move(gen)));
-      sc.hybrid_sources_.back()->start(0, cfg.traffic_horizon);
-    } else {
-      sc.generators_.push_back(std::move(gen));
-      sc.generators_.back()->start(0, cfg.traffic_horizon);
-    }
+    sc.cross_.attach(*sc.sim_, *sc.path_, hop, /*one_hop=*/true, flow_id,
+                     sc.rng_->fork(), cfg.mode, spec, 0, cfg.traffic_horizon);
     ++flow_id;
   }
 
@@ -143,15 +163,8 @@ void Scenario::add_cross_source(std::unique_ptr<traffic::Generator> gen,
                                 std::size_t entry_hop, bool one_hop,
                                 std::uint32_t flow_id, sim::SimMode mode,
                                 sim::SimTime horizon) {
-  sim::SimTime t0 = sim_->now();
-  if (mode == sim::SimMode::kHybrid) {
-    hybrid_sources_.push_back(std::make_unique<traffic::HybridCrossSource>(
-        *sim_, *path_, entry_hop, one_hop, flow_id, std::move(gen)));
-    hybrid_sources_.back()->start(t0, horizon);
-  } else {
-    generators_.push_back(std::move(gen));
-    generators_.back()->start(t0, horizon);
-  }
+  cross_.adopt(*sim_, *path_, entry_hop, one_hop, flow_id, mode,
+               std::move(gen), sim_->now(), horizon);
   if (horizon > traffic_until_) traffic_until_ = horizon;
 }
 

@@ -47,6 +47,53 @@ std::unique_ptr<traffic::Generator> make_cross_generator(
     std::uint32_t packet_size, bool trimodal, double onoff_peak,
     double capacity_bps);
 
+/// Everything one cross-traffic source needs beyond its placement: the
+/// arrival model and its parameters.  One struct instead of six loose
+/// arguments, so every topology builder reads the same way.
+struct CrossSpec {
+  CrossModel model = CrossModel::kPoisson;
+  double rate_bps = 0.0;
+  std::uint32_t packet_size = 1500;
+  bool trimodal = false;       ///< Poisson only: 40/576/1500 mix
+  double onoff_peak = 0.0;     ///< Pareto ON-OFF only; 0 = capacity
+  double capacity_bps = 0.0;   ///< the fed link's capacity (ON-OFF peak cap)
+};
+
+/// Owns the cross-traffic sources of a scenario and funnels every
+/// topology's construction — single-hop, multi-hop, partitioned domains,
+/// mesh edges — through ONE factory path: build the generator, then
+/// either wrap it in a HybridCrossSource (SimMode::kHybrid) or start it
+/// as a discrete event source.  Before this class each scenario carried
+/// its own copy of that wrap-or-start branch; mode-handling bugs had to
+/// be fixed N times.
+class CrossTraffic {
+ public:
+  /// Builds one source of `spec` on (sim, path, hop) and activates it
+  /// over [t0, horizon).  The caller owns seeding policy: `rng` is
+  /// consumed as the source's private stream.
+  void attach(sim::Simulator& sim, sim::Path& path, std::size_t hop,
+              bool one_hop, std::uint32_t flow_id, stats::Rng rng,
+              sim::SimMode mode, const CrossSpec& spec, sim::SimTime t0,
+              sim::SimTime horizon);
+
+  /// Adopts a caller-built generator (e.g. a traffic::TraceGenerator)
+  /// through the same wrap-or-start path.  `gen` must target (sim, path)
+  /// and not have been started.
+  void adopt(sim::Simulator& sim, sim::Path& path, std::size_t hop,
+             bool one_hop, std::uint32_t flow_id, sim::SimMode mode,
+             std::unique_ptr<traffic::Generator> gen, sim::SimTime t0,
+             sim::SimTime horizon);
+
+  std::size_t source_count() const {
+    return generators_.size() + hybrid_sources_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<traffic::Generator>> generators_;
+  // Hybrid-mode sources (own their generators).
+  std::vector<std::unique_ptr<traffic::HybridCrossSource>> hybrid_sources_;
+};
+
 /// Single-hop scenario parameters.  Defaults reproduce the paper's
 /// simulation setting: Ct = 50 Mb/s, avail-bw 25 Mb/s.
 struct SingleHopConfig {
@@ -163,9 +210,8 @@ class Scenario {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<stats::Rng> rng_;
   std::unique_ptr<sim::Path> path_;
-  std::vector<std::unique_ptr<traffic::Generator>> generators_;
-  // Hybrid-mode sources (own their generators); destroyed before path_.
-  std::vector<std::unique_ptr<traffic::HybridCrossSource>> hybrid_sources_;
+  // Cross-traffic sources (incl. hybrid wrappers); destroyed before path_.
+  CrossTraffic cross_;
   std::unique_ptr<probe::ProbeSession> session_;
   double nominal_avail_bw_ = 0.0;
   sim::SimTime traffic_until_ = 0;

@@ -1,0 +1,132 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace abw::sim {
+
+void Topology::check_node(std::size_t node, const char* what) const {
+  if (node >= nodes_)
+    throw std::invalid_argument(std::string("Topology: ") + what +
+                                " node out of range");
+}
+
+std::size_t Topology::add_node() {
+  out_edges_.emplace_back();
+  return nodes_++;
+}
+
+std::size_t Topology::add_nodes(std::size_t n) {
+  const std::size_t first = nodes_;
+  for (std::size_t i = 0; i < n; ++i) add_node();
+  return first;
+}
+
+std::size_t Topology::add_edge(std::size_t from, std::size_t to,
+                               const LinkConfig& link) {
+  check_node(from, "edge source");
+  check_node(to, "edge target");
+  if (from == to) throw std::invalid_argument("Topology: self-loop edge");
+  const std::size_t idx = edges_.size();
+  edges_.push_back({from, to, link});
+  out_edges_[from].push_back(idx);  // ascending by construction
+  return idx;
+}
+
+void Topology::set_route(std::size_t src, std::size_t dst,
+                         std::vector<std::size_t> edges) {
+  check_node(src, "route source");
+  check_node(dst, "route sink");
+  if (edges.empty())
+    throw std::invalid_argument("Topology: empty route");
+  std::size_t at = src;
+  std::vector<std::size_t> seen = edges;
+  std::sort(seen.begin(), seen.end());
+  if (std::adjacent_find(seen.begin(), seen.end()) != seen.end())
+    throw std::invalid_argument("Topology: route repeats an edge");
+  for (std::size_t e : edges) {
+    if (e >= edges_.size())
+      throw std::invalid_argument("Topology: route edge out of range");
+    if (edges_[e].from != at)
+      throw std::invalid_argument("Topology: route edges do not chain");
+    at = edges_[e].to;
+  }
+  if (at != dst)
+    throw std::invalid_argument("Topology: route does not end at sink");
+  routes_[{src, dst}] = std::move(edges);
+}
+
+bool Topology::auto_route(std::size_t src, std::size_t dst) {
+  check_node(src, "route source");
+  check_node(dst, "route sink");
+  if (src == dst)
+    throw std::invalid_argument("Topology: route source equals sink");
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  // BFS over nodes; parent_edge_ records the edge that first reached each
+  // node.  Out-edges expand in ascending index order, so the first path
+  // found is the lexicographically-smallest among shortest ones.
+  std::vector<std::size_t> parent_edge(nodes_, kNone);
+  std::queue<std::size_t> frontier;
+  frontier.push(src);
+  std::vector<bool> visited(nodes_, false);
+  visited[src] = true;
+  while (!frontier.empty() && !visited[dst]) {
+    const std::size_t n = frontier.front();
+    frontier.pop();
+    for (std::size_t e : out_edges_[n]) {
+      const std::size_t to = edges_[e].to;
+      if (visited[to]) continue;
+      visited[to] = true;
+      parent_edge[to] = e;
+      frontier.push(to);
+    }
+  }
+  if (!visited[dst]) return false;
+  std::vector<std::size_t> path;
+  for (std::size_t n = dst; n != src; n = edges_[parent_edge[n]].from)
+    path.push_back(parent_edge[n]);
+  std::reverse(path.begin(), path.end());
+  set_route(src, dst, std::move(path));
+  return true;
+}
+
+void Topology::auto_route_all(const std::vector<NodePair>& pairs) {
+  for (const NodePair& p : pairs)
+    if (!auto_route(p.src, p.dst))
+      throw std::invalid_argument("Topology: pair " + std::to_string(p.src) +
+                                  "->" + std::to_string(p.dst) +
+                                  " is unreachable");
+}
+
+const std::vector<std::size_t>* Topology::route(std::size_t src,
+                                                std::size_t dst) const {
+  auto it = routes_.find({src, dst});
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+double Topology::route_narrow_capacity(std::size_t src,
+                                       std::size_t dst) const {
+  const std::vector<std::size_t>* r = route(src, dst);
+  if (r == nullptr)
+    throw std::invalid_argument("Topology: no route installed for pair");
+  double c = std::numeric_limits<double>::infinity();
+  for (std::size_t e : *r) c = std::min(c, edges_[e].link.capacity_bps);
+  return c;
+}
+
+SimTime Topology::route_base_owd(std::size_t src, std::size_t dst,
+                                 std::uint32_t bytes) const {
+  const std::vector<std::size_t>* r = route(src, dst);
+  if (r == nullptr)
+    throw std::invalid_argument("Topology: no route installed for pair");
+  SimTime t = 0;
+  for (std::size_t e : *r)
+    t += transmission_time(bytes, edges_[e].link.capacity_bps) +
+         edges_[e].link.propagation_delay;
+  return t;
+}
+
+}  // namespace abw::sim
