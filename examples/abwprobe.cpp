@@ -5,6 +5,10 @@
 //   abwprobe --tool=spruce --hops=3 --seed=7
 //   abwprobe --list
 //
+// Live measurement (against a running abwd daemon, examples/abwd.cpp):
+//
+//   abwprobe --transport=udp --peer=127.0.0.1:9877 --tool=spruce --capacity=50M
+//
 // Flags (all optional):
 //   --tool=NAME        estimator (default pathload); --list prints all
 //   --model=MODEL      cbr | poisson | pareto        (default poisson)
@@ -16,6 +20,10 @@
 //   --skew-ppm=D       receiver clock drift in ppm   (default 0)
 //   --trace=FILE       write a JSONL event trace (obs/) to FILE
 //   --metrics=FILE     write a JSON metrics snapshot (obs/) to FILE
+//   --transport=KIND   sim (default) | udp
+//   --peer=HOST:PORT   abwd address (udp transport)
+//   --budget=N         probe-packet budget (0 = unlimited)
+//   --deadline=S       measurement deadline in seconds (0 = none)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +34,7 @@
 #include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "net/udp_transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -56,6 +65,10 @@ struct Args {
   double skew_ppm = 0.0;
   std::string trace_path;
   std::string metrics_path;
+  std::string transport = "sim";
+  std::string peer;
+  std::uint64_t budget = 0;
+  double deadline_s = 0.0;
   bool list = false;
 };
 
@@ -82,6 +95,10 @@ bool parse(int argc, char** argv, Args& a) {
     else if (eat("--skew-ppm", v)) a.skew_ppm = std::stod(v);
     else if (eat("--trace", v)) a.trace_path = v;
     else if (eat("--metrics", v)) a.metrics_path = v;
+    else if (eat("--transport", v)) a.transport = v;
+    else if (eat("--peer", v)) a.peer = v;
+    else if (eat("--budget", v)) a.budget = std::stoull(v);
+    else if (eat("--deadline", v)) a.deadline_s = std::stod(v);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -95,6 +112,71 @@ core::CrossModel parse_model(const std::string& m) {
   if (m == "poisson") return core::CrossModel::kPoisson;
   if (m == "pareto") return core::CrossModel::kParetoOnOff;
   throw std::invalid_argument("unknown model '" + m + "' (cbr|poisson|pareto)");
+}
+
+// Live measurement: probe a real abwd daemon over UDP instead of a
+// simulated path.  No ground truth here — that is the whole point of the
+// simulator — only the tool's estimate and its cost.
+int run_live(const Args& args) {
+  auto colon = args.peer.rfind(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument("--peer must be HOST:PORT");
+  net::UdpTransportConfig tcfg;
+  tcfg.host = args.peer.substr(0, colon);
+  tcfg.port = static_cast<std::uint16_t>(std::stoul(args.peer.substr(colon + 1)));
+  tcfg.advertise_budget_packets = args.budget;
+  tcfg.advertise_deadline = sim::from_seconds(args.deadline_s);
+  net::UdpTransport transport(tcfg);
+
+  std::unique_ptr<obs::JsonlTraceSink> trace;
+  if (!args.trace_path.empty())
+    trace = std::make_unique<obs::JsonlTraceSink>(args.trace_path);
+  obs::MetricsRegistry metrics;
+
+  core::ToolOptions opts;
+  opts.tight_capacity_bps = args.capacity;
+  opts.min_rate_bps = 0.04 * args.capacity;
+  opts.max_rate_bps = 0.98 * args.capacity;
+  opts.limits.max_probe_packets = args.budget;
+  opts.limits.deadline = sim::from_seconds(args.deadline_s);
+  opts.trace = trace.get();
+  if (!args.metrics_path.empty()) opts.metrics = &metrics;
+  stats::Rng rng(args.seed ^ 0xabcdef);
+  auto tool = core::make_estimator(args.tool, opts, rng);
+
+  std::printf("probing %s over udp (session budget=%llu deadline=%.1fs)\n",
+              args.peer.c_str(), static_cast<unsigned long long>(args.budget),
+              args.deadline_s);
+  est::Estimate e = tool->estimate(transport);
+  if (!transport.connected())
+    std::fprintf(stderr, "warning: daemon at %s never answered\n",
+                 args.peer.c_str());
+
+  if (trace) trace->flush();
+  if (!args.metrics_path.empty()) {
+    std::ofstream out(args.metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + args.metrics_path);
+    metrics.write_json(out, /*include_timers=*/true);
+  }
+
+  if (!e.valid) {
+    std::printf("%s: estimation failed: %s\n", args.tool.c_str(),
+                e.detail.c_str());
+    return 1;
+  }
+  if (e.low_bps == e.high_bps) {
+    std::printf("%s estimate: %s\n", args.tool.c_str(),
+                core::mbps(e.point_bps()).c_str());
+  } else {
+    std::printf("%s estimate: [%s, %s]\n", args.tool.c_str(),
+                core::mbps(e.low_bps).c_str(), core::mbps(e.high_bps).c_str());
+  }
+  std::printf("overhead: %llu packets (%llu bytes), latency %.2f s\n",
+              static_cast<unsigned long long>(e.cost.packets),
+              static_cast<unsigned long long>(e.cost.bytes),
+              sim::to_seconds(e.cost.elapsed()));
+  if (!e.detail.empty()) std::printf("detail: %s\n", e.detail.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -119,6 +201,20 @@ int main(int argc, char** argv) {
                   t.default_packet_size, reps.c_str());
     }
     return 0;
+  }
+
+  if (args.transport == "udp") {
+    try {
+      return run_live(args);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 2;
+    }
+  }
+  if (args.transport != "sim") {
+    std::fprintf(stderr, "unknown transport '%s' (sim|udp)\n",
+                 args.transport.c_str());
+    return 2;
   }
 
   try {
@@ -178,7 +274,7 @@ int main(int argc, char** argv) {
                 core::mbps(args.cross).c_str(),
                 core::mbps(sc.nominal_avail_bw()).c_str());
 
-    est::Estimate e = tool->estimate(sc.session());
+    est::Estimate e = tool->estimate(sc.transport());
 
     if (trace) {
       trace->flush();

@@ -73,7 +73,7 @@ std::vector<double> collect_direct_samples(Scenario& sc, double tight_capacity_b
   std::size_t attempts = 0;
   while (samples.size() < count && attempts < 3 * count) {
     ++attempts;
-    if (auto a = prober.sample(sc.session())) samples.push_back(*a);
+    if (auto a = prober.sample(sc.transport())) samples.push_back(*a);
     sc.simulator().run_until(sc.simulator().now() + inter_stream_gap);
   }
   return samples;

@@ -105,21 +105,11 @@ void MeshScenario::on_edge_exit(std::size_t edge, const sim::Packet& pkt) {
   auto it = active_.find(pkt.stream_id);
   if (it == active_.end()) return;  // stream already drained
   ActiveStream& st = it->second;
-  if (pkt.seq >= st.result->packets.size()) return;
-  // Same dedup/reorder semantics as probe::ProbeSession::on_probe:
-  // duplicates keep the first copy's timestamp, a first arrival behind a
-  // higher seq counts as reordered.
-  probe::ProbeRecord& rec = st.result->packets[pkt.seq];
-  if (!rec.lost) {
-    ++st.result->duplicate_count;
-    return;
-  }
-  rec.lost = false;
-  if (static_cast<std::int64_t>(pkt.seq) < st.highest_seq)
-    ++st.result->reordered_count;
-  else
-    st.highest_seq = static_cast<std::int64_t>(pkt.seq);
-  rec.received = sim_.now();
+  // ProbeSession-identical dedup/reorder semantics via the shared
+  // probe::ReceiverState (duplicates keep the first copy's timestamp).
+  probe::ProbeRecord* rec = st.recv.accept(*st.result, pkt.seq);
+  if (rec == nullptr) return;
+  rec->received = sim_.now();
   ++st.received;
 }
 

@@ -33,6 +33,7 @@
 #include "est/mesh.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "probe/receiver_state.hpp"
 #include "probe/session.hpp"
 #include "probe/stream_result.hpp"
 #include "probe/stream_spec.hpp"
@@ -144,7 +145,7 @@ class MeshScenario {
     probe::StreamResult* result = nullptr;
     std::size_t expected = 0;
     std::size_t received = 0;
-    std::int64_t highest_seq = -1;
+    probe::ReceiverState recv;  // shared dedup/reorder accounting
   };
 
   /// Next-edge table sentinels.

@@ -43,8 +43,8 @@ void AvailBwMonitor::take_reading() {
   lo_rate = std::clamp(lo_rate, cfg_.min_rate_bps, cfg_.max_rate_bps);
   hi_rate = std::clamp(hi_rate, cfg_.min_rate_bps, cfg_.max_rate_bps);
 
-  est::FleetVerdict below = pathload_.probe_fleet(scenario_.session(), lo_rate);
-  est::FleetVerdict above = pathload_.probe_fleet(scenario_.session(), hi_rate);
+  est::FleetVerdict below = pathload_.probe_fleet(scenario_.transport(), lo_rate);
+  est::FleetVerdict above = pathload_.probe_fleet(scenario_.transport(), hi_rate);
 
   double step = cfg_.adapt_step * cfg_.probe_margin * estimate_;
   if (below == est::FleetVerdict::kAboveAvailBw) {

@@ -4,14 +4,16 @@
 #include <stdexcept>
 #include <string>
 
+#include "probe/receiver_state.hpp"
 #include "runner/batch.hpp"
 #include "stats/rng.hpp"
 
 namespace abw::core {
 
 // Same dedup/reorder semantics as probe::ProbeSession::on_probe, minus
-// the receiver clock model: duplicates keep the first copy's timestamp,
-// a first arrival behind a higher seq counts as reordered.
+// the receiver clock model: the shared probe::ReceiverState does the
+// accounting (duplicates keep the first copy's timestamp, a first arrival
+// behind a higher seq counts as reordered).
 class ParallelScenario::Receiver final : public sim::PacketHandler {
  public:
   explicit Receiver(sim::Simulator& sim) : sim_(sim) {}
@@ -19,7 +21,7 @@ class ParallelScenario::Receiver final : public sim::PacketHandler {
   void begin_stream(probe::StreamResult* r) {
     active_ = r;
     received_ = 0;
-    highest_seq_ = -1;
+    recv_.reset();
   }
   void end_stream() { active_ = nullptr; }
   std::size_t received() const { return received_; }
@@ -28,18 +30,9 @@ class ParallelScenario::Receiver final : public sim::PacketHandler {
     if (active_ == nullptr || pkt.type != sim::PacketType::kProbe ||
         pkt.stream_id != active_->stream_id)
       return;
-    if (pkt.seq >= active_->packets.size()) return;
-    probe::ProbeRecord& rec = active_->packets[pkt.seq];
-    if (!rec.lost) {
-      ++active_->duplicate_count;
-      return;
-    }
-    rec.lost = false;
-    if (static_cast<std::int64_t>(pkt.seq) < highest_seq_)
-      ++active_->reordered_count;
-    else
-      highest_seq_ = static_cast<std::int64_t>(pkt.seq);
-    rec.received = sim_.now();
+    probe::ProbeRecord* rec = recv_.accept(*active_, pkt.seq);
+    if (rec == nullptr) return;
+    rec->received = sim_.now();
     ++received_;
   }
 
@@ -47,7 +40,7 @@ class ParallelScenario::Receiver final : public sim::PacketHandler {
   sim::Simulator& sim_;  // the final domain's simulator (arrival clock)
   probe::StreamResult* active_ = nullptr;
   std::size_t received_ = 0;
-  std::int64_t highest_seq_ = -1;
+  probe::ReceiverState recv_;
 };
 
 ParallelScenario::ParallelScenario(const ParallelScenarioConfig& cfg)

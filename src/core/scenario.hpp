@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "probe/session.hpp"
+#include "probe/transport.hpp"
 #include "sim/hybrid.hpp"
 #include "sim/path.hpp"
 #include "sim/simulator.hpp"
@@ -170,6 +171,13 @@ class Scenario {
   probe::ProbeSession& session() { return *session_; }
   stats::Rng& rng() { return *rng_; }
 
+  /// The session as a probe::Transport — what estimators take since the
+  /// transport redesign.  Lazily built; forwards 1:1 to session().
+  probe::SimTransport& transport() {
+    if (!transport_) transport_ = std::make_unique<probe::SimTransport>(*session_);
+    return *transport_;
+  }
+
   /// Configured long-run avail-bw (capacity minus offered cross rate on
   /// the tight link) — the experiment's design value A.
   double nominal_avail_bw() const { return nominal_avail_bw_; }
@@ -213,6 +221,7 @@ class Scenario {
   // Cross-traffic sources (incl. hybrid wrappers); destroyed before path_.
   CrossTraffic cross_;
   std::unique_ptr<probe::ProbeSession> session_;
+  std::unique_ptr<probe::SimTransport> transport_;  // lazy; over *session_
   double nominal_avail_bw_ = 0.0;
   sim::SimTime traffic_until_ = 0;
 };

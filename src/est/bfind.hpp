@@ -37,7 +37,7 @@ class Bfind final : public Estimator {
   std::uint32_t flagged_hop() const { return flagged_hop_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   BfindConfig cfg_;

@@ -14,13 +14,13 @@ CapacityEstimator::CapacityEstimator(const CapacityConfig& cfg, stats::Rng rng)
     throw std::invalid_argument("CapacityEstimator: bad parameters");
 }
 
-double CapacityEstimator::estimate_capacity(probe::ProbeSession& session) {
+double CapacityEstimator::estimate_capacity(probe::Transport& transport) {
   samples_.clear();
 
   probe::StreamSpec spec = probe::StreamSpec::pair_train(
       cfg_.launch_rate_bps, cfg_.packet_size, cfg_.pair_count, cfg_.mean_pair_gap,
       rng_);
-  probe::StreamResult res = session.send_stream_now(spec);
+  probe::StreamResult res = transport.send_stream(spec);
 
   for (std::size_t p = 0; p + 1 < res.packets.size(); p += 2) {
     const auto& a = res.packets[p];

@@ -34,8 +34,8 @@ probe::StreamSpec DirectProber::stream_spec() const {
   return probe::StreamSpec::periodic(cfg_.input_rate_bps, cfg_.packet_size, count);
 }
 
-std::optional<double> DirectProber::sample(probe::ProbeSession& session) {
-  probe::StreamResult res = session.send_stream_now(stream_spec());
+std::optional<double> DirectProber::sample(probe::Transport& transport) {
+  probe::StreamResult res = transport.send_stream(stream_spec());
   if (res.lost_count() > res.packets.size() / 10) return std::nullopt;
   double ri = res.input_rate_bps();
   double ro = res.output_rate_bps();
@@ -47,19 +47,19 @@ std::optional<double> DirectProber::sample(probe::ProbeSession& session) {
   return direct_probe_equation(cfg_.tight_capacity_bps, ri, ro);
 }
 
-Estimate DirectProber::do_estimate(probe::ProbeSession& session) {
+Estimate DirectProber::do_estimate(probe::Transport& transport) {
   stats::RunningStats acc;
   std::size_t unusable = 0;
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   for (std::size_t k = 0; k < cfg_.stream_count; ++k) {
     if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
       Estimate e = abort_estimate(r, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
-    if (auto a = sample(session)) {
+    if (auto a = sample(transport)) {
       acc.add(*a);
-      decision(session, "sample", "usable", k, *a, cfg_.input_rate_bps);
+      decision(transport, "sample", "usable", k, *a, cfg_.input_rate_bps);
       if (cfg_.adaptive) {
         // Re-aim halfway between the sample and Ct: safely above A,
         // well below the needlessly intrusive Ct.
@@ -69,14 +69,14 @@ Estimate DirectProber::do_estimate(probe::ProbeSession& session) {
       }
     } else {
       ++unusable;
-      decision(session, "sample", "unusable", k, 0.0, cfg_.input_rate_bps);
+      decision(transport, "sample", "unusable", k, 0.0, cfg_.input_rate_bps);
       if (cfg_.adaptive) {
         // Stream did not congest the link: Ri was at or below A; push up.
         cfg_.input_rate_bps = std::min(cfg_.input_rate_bps * 1.3,
                                        0.98 * cfg_.tight_capacity_bps);
       }
     }
-    session.simulator().run_until(session.simulator().now() + cfg_.inter_stream_gap);
+    transport.wait(cfg_.inter_stream_gap);
   }
   if (acc.count() == 0) {
     Estimate e = Estimate::aborted(
@@ -84,11 +84,11 @@ Estimate DirectProber::do_estimate(probe::ProbeSession& session) {
         "direct: no stream congested the tight link (Ri <= A?)");
     e.diag("samples", 0.0);
     e.diag("unusable", static_cast<double>(unusable));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   Estimate e = Estimate::range(acc.mean() - acc.stddev(), acc.mean() + acc.stddev());
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "samples=" + std::to_string(acc.count()) +
              " unusable=" + std::to_string(unusable);
   e.diag("samples", static_cast<double>(acc.count()));

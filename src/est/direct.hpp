@@ -44,7 +44,7 @@ class DirectProber final : public Estimator {
   /// nullopt if the stream was unusable (loss, Ro >= Ri so the equation
   /// degenerates).  Exposed because Fig. 2 and Table 1 analyze per-sample
   /// statistics directly.
-  std::optional<double> sample(probe::ProbeSession& session);
+  std::optional<double> sample(probe::Transport& transport);
 
   /// The stream spec this config sends (for tests).
   probe::StreamSpec stream_spec() const;
@@ -53,7 +53,7 @@ class DirectProber final : public Estimator {
   double current_rate_bps() const { return cfg_.input_rate_bps; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   DirectConfig cfg_;

@@ -104,7 +104,7 @@ std::string Estimate::to_json() const {
   return out;
 }
 
-Estimate Estimator::estimate(probe::ProbeSession& session) {
+Estimate Estimator::estimate(probe::Transport& transport) {
   Estimate e;
   {
     std::string timer_key;
@@ -115,7 +115,7 @@ Estimate Estimator::estimate(probe::ProbeSession& session) {
       timer_key += ".seconds";
     }
     obs::ScopedTimer timer(metrics_, timer_key);
-    e = do_estimate(session);
+    e = do_estimate(transport);
   }
 
   // Synthesize the human-readable detail from the structured diagnostics
@@ -150,7 +150,7 @@ Estimate Estimator::estimate(probe::ProbeSession& session) {
   if (trace_) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kDecision;
-    ev.time = session.simulator().now();
+    ev.time = transport.now();
     ev.source = name();
     ev.label = "estimate";
     ev.text = e.valid ? "valid" : abort_reason_name(e.abort);
@@ -162,13 +162,13 @@ Estimate Estimator::estimate(probe::ProbeSession& session) {
   return e;
 }
 
-void Estimator::decision(probe::ProbeSession& session, std::string_view what,
+void Estimator::decision(probe::Transport& transport, std::string_view what,
                          std::string_view outcome, std::uint64_t iter,
                          double value, double aux) {
   if (!trace_) return;
   obs::TraceEvent ev;
   ev.kind = obs::EventKind::kDecision;
-  ev.time = session.simulator().now();
+  ev.time = transport.now();
   ev.source = name();
   ev.label = what;
   ev.text = outcome;

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "probe/session.hpp"
+#include "probe/transport.hpp"
 
 namespace abw::est {
 
@@ -128,7 +129,7 @@ struct Estimate {
   }
 };
 
-/// Common interface: run a complete measurement over the given session.
+/// Common interface: run a complete measurement over the given transport.
 ///
 /// Template method: estimate() is the non-virtual public entry point; it
 /// wraps the technique's do_estimate() with the cross-cutting concerns —
@@ -141,9 +142,20 @@ class Estimator {
  public:
   virtual ~Estimator() = default;
 
-  /// Runs the technique to completion, advancing simulated time as real
-  /// tools consume wall-clock time, and returns its estimate.
-  Estimate estimate(probe::ProbeSession& session);
+  /// Runs the technique to completion over any measurement substrate —
+  /// simulated (probe::SimTransport) or live (net::UdpTransport) —
+  /// advancing the transport's clock as real tools consume wall-clock
+  /// time, and returns its estimate.
+  Estimate estimate(probe::Transport& transport);
+
+  /// Deprecated convenience: runs over a simulated session by wrapping it
+  /// in a SimTransport — bit-identical to the transport overload.  Kept
+  /// so pre-transport callers compile unchanged; prefer
+  /// estimate(Transport&).
+  Estimate estimate(probe::ProbeSession& session) {
+    probe::SimTransport transport(session);
+    return estimate(transport);
+  }
 
   /// Tool name, e.g. "pathload".
   virtual std::string_view name() const = 0;
@@ -170,13 +182,13 @@ class Estimator {
  protected:
   /// The technique itself.  Implementations populate
   /// Estimate::diagnostics; `detail` may be left empty (synthesized).
-  virtual Estimate do_estimate(probe::ProbeSession& session) = 0;
+  virtual Estimate do_estimate(probe::Transport& transport) = 0;
 
   /// Emits one decision trace event (no-op when no sink attached):
   /// `what` names the decision ("fleet-verdict", "excursion", ...),
   /// `outcome` its result, `iter` the iteration index, value/aux the
-  /// numbers behind it.  Time stamps from the session's simulator clock.
-  void decision(probe::ProbeSession& session, std::string_view what,
+  /// numbers behind it.  Time stamps from the transport clock.
+  void decision(probe::Transport& transport, std::string_view what,
                 std::string_view outcome, std::uint64_t iter, double value,
                 double aux = 0.0);
 
@@ -186,30 +198,30 @@ class Estimator {
   /// Per-measurement limit bookkeeping.  Construct at the top of
   /// estimate() and call exceeded() before each stream; the baseline
   /// subtraction makes the budget per-measurement even though
-  /// ProbeCost accumulates across a session's lifetime.
+  /// ProbeCost accumulates across a transport's lifetime.
   class LimitGuard {
    public:
-    LimitGuard(const EstimatorLimits& limits, probe::ProbeSession& session)
+    LimitGuard(const EstimatorLimits& limits, probe::Transport& transport)
         : limits_(limits),
-          session_(session),
-          packets_at_start_(session.cost().packets),
-          start_time_(session.simulator().now()) {}
+          transport_(transport),
+          packets_at_start_(transport.cost().packets),
+          start_time_(transport.now()) {}
 
     /// kNone while within bounds; otherwise the limit that tripped.
     AbortReason exceeded() const {
       if (limits_.max_probe_packets > 0 &&
-          session_.cost().packets - packets_at_start_ >=
+          transport_.cost().packets - packets_at_start_ >=
               limits_.max_probe_packets)
         return AbortReason::kProbeBudgetExhausted;
       if (limits_.deadline > 0 &&
-          session_.simulator().now() - start_time_ >= limits_.deadline)
+          transport_.now() - start_time_ >= limits_.deadline)
         return AbortReason::kDeadline;
       return AbortReason::kNone;
     }
 
    private:
     const EstimatorLimits& limits_;
-    probe::ProbeSession& session_;
+    probe::Transport& transport_;
     std::uint64_t packets_at_start_;
     sim::SimTime start_time_;
   };

@@ -20,7 +20,7 @@ IgiPtr::IgiPtr(const IgiPtrConfig& cfg, IgiPtrFormula formula)
     throw std::invalid_argument("IgiPtr: repetitions must be >= 1");
 }
 
-Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
+Estimate IgiPtr::do_estimate(probe::Transport& transport) {
   last_igi_ = last_ptr_ = 0.0;
   trains_used_ = 0;
 
@@ -30,7 +30,7 @@ Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
   double start_rate = cfg_.initial_rate_bps > 0.0 ? cfg_.initial_rate_bps
                                                   : 0.9 * cfg_.tight_capacity_bps;
 
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   AbortReason abort = AbortReason::kNone;
 
   // One gap-increasing search: returns true when a turning point was
@@ -45,7 +45,7 @@ Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
       probe::StreamSpec spec = probe::StreamSpec::periodic(
           rate, cfg_.packet_size, cfg_.packets_per_train);
       probe::StreamResult res =
-          session.send_stream_now(spec, 10 * sim::kMillisecond);
+          transport.send_stream(spec, 10 * sim::kMillisecond);
       if (res.lost_count() > 0) continue;  // lossy train: keep slowing down
 
       const auto& pk = res.packets;
@@ -73,15 +73,15 @@ Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
   for (std::size_t phase = 0; phase < cfg_.repetitions; ++phase) {
     double igi = 0.0, ptr = 0.0;
     if (search_once(igi, ptr)) {
-      decision(session, "phase", "turning-point", phase, igi, ptr);
+      decision(transport, "phase", "turning-point", phase, igi, ptr);
       igis.push_back(igi);
       ptrs.push_back(ptr);
     } else if (abort == AbortReason::kNone) {
-      decision(session, "phase", "no-turning-point", phase, 0.0);
+      decision(transport, "phase", "no-turning-point", phase, 0.0);
     }
     if (abort != AbortReason::kNone) {
       Estimate e = abort_estimate(abort, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
   }
@@ -91,7 +91,7 @@ Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
     e.diag("phases_used", 0.0);
     e.diag("phases", static_cast<double>(cfg_.repetitions));
     e.diag("trains", static_cast<double>(trains_used_));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
 
@@ -99,7 +99,7 @@ Estimate IgiPtr::do_estimate(probe::ProbeSession& session) {
   last_ptr_ = stats::median(ptrs);
   double point = formula_ == IgiPtrFormula::kIgi ? last_igi_ : last_ptr_;
   Estimate e = Estimate::point(point);
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "phases=" + std::to_string(igis.size()) + "/" +
              std::to_string(cfg_.repetitions) +
              " trains=" + std::to_string(trains_used_);

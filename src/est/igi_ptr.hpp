@@ -64,7 +64,7 @@ class IgiPtr final : public Estimator {
   std::size_t trains_used() const { return trains_used_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   IgiPtrConfig cfg_;

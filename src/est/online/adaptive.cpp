@@ -39,7 +39,7 @@ double AdaptiveProber::next_rate_bps() {
                     cfg_.max_rate_bps);
 }
 
-FeedResult AdaptiveProber::step(probe::ProbeSession& session) {
+FeedResult AdaptiveProber::step(probe::Transport& transport) {
   if (exhausted()) return FeedResult::kExhausted;
   // Pre-send admission control: never put a stream on the wire that the
   // budget could not pay for.  feed() re-checks and freezes the belief
@@ -48,12 +48,12 @@ FeedResult AdaptiveProber::step(probe::ProbeSession& session) {
   if (lim.max_probe_packets > 0 &&
       packets_consumed() + cfg_.packets_per_stream > lim.max_probe_packets) {
     OnlineSample poison;
-    poison.time = session.simulator().now();
+    poison.time = transport.now();
     poison.packets = cfg_.packets_per_stream;
     return feed(poison);  // trips the budget, freezes, emits the decision
   }
   double rate = next_rate_bps();
-  probe::StreamResult res = session.send_stream_now(probe::StreamSpec::periodic(
+  probe::StreamResult res = transport.send_stream(probe::StreamSpec::periodic(
       rate, cfg_.packet_size, cfg_.packets_per_stream));
   return feed(res);
 }

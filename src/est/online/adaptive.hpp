@@ -24,7 +24,7 @@
 
 #include "est/online/kalman.hpp"
 #include "est/online/online.hpp"
-#include "probe/session.hpp"
+#include "probe/transport.hpp"
 #include "stats/rng.hpp"
 
 namespace abw::est::online {
@@ -57,10 +57,16 @@ class AdaptiveProber final : public OnlineEstimator {
   /// Deterministic given the seed and feed history.
   double next_rate_bps();
 
-  /// Sends one stream at next_rate_bps() through `session` and feeds the
-  /// result.  Returns kExhausted (sending nothing) once the next stream
-  /// would exceed the probe budget or the deadline has passed.
-  FeedResult step(probe::ProbeSession& session);
+  /// Sends one stream at next_rate_bps() through `transport` and feeds
+  /// the result.  Returns kExhausted (sending nothing) once the next
+  /// stream would exceed the probe budget or the deadline has passed.
+  FeedResult step(probe::Transport& transport);
+
+  /// Deprecated: wraps `session` in a SimTransport.
+  FeedResult step(probe::ProbeSession& session) {
+    probe::SimTransport transport(session);
+    return step(transport);
+  }
 
   /// The inner Kalman tracker (for introspection/tests).
   const KalmanTracker& tracker() const { return kalman_; }

@@ -94,7 +94,7 @@ double PathChirp::analyze_chirp(const std::vector<double>& owds,
   return den > 0.0 ? num / den : 0.0;
 }
 
-Estimate PathChirp::do_estimate(probe::ProbeSession& session) {
+Estimate PathChirp::do_estimate(probe::Transport& transport) {
   chirp_estimates_.clear();
 
   probe::StreamSpec spec = probe::StreamSpec::chirp(
@@ -108,20 +108,20 @@ Estimate PathChirp::do_estimate(probe::ProbeSession& session) {
         sim::to_seconds(spec.packets[k].offset - spec.packets[k - 1].offset));
   }
 
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   for (std::size_t c = 0; c < cfg_.chirps; ++c) {
     if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
       Estimate e = abort_estimate(r, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
-    probe::StreamResult res = session.send_stream_now(spec, cfg_.inter_chirp_gap);
+    probe::StreamResult res = transport.send_stream(spec, cfg_.inter_chirp_gap);
     if (!res.complete()) {
-      decision(session, "chirp", "discarded", c, 0.0);
+      decision(transport, "chirp", "discarded", c, 0.0);
       continue;  // chirps with loss are discarded
     }
     double e = analyze_chirp(res.owds_seconds(), rates, gaps);
-    decision(session, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
+    decision(transport, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
     if (e > 0.0) chirp_estimates_.push_back(e);
   }
 
@@ -130,11 +130,11 @@ Estimate PathChirp::do_estimate(probe::ProbeSession& session) {
                                    "pathchirp: no usable chirps");
     e.diag("chirps_used", 0.0);
     e.diag("chirps_sent", static_cast<double>(cfg_.chirps));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   Estimate e = Estimate::point(stats::mean(chirp_estimates_));
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "chirps=" + std::to_string(chirp_estimates_.size());
   e.diag("chirps_used", static_cast<double>(chirp_estimates_.size()));
   e.diag("chirps_sent", static_cast<double>(cfg_.chirps));

@@ -57,7 +57,7 @@ class PathChirp final : public Estimator {
   const std::vector<double>& last_chirp_estimates() const { return chirp_estimates_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   PathChirpConfig cfg_;

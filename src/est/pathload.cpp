@@ -16,7 +16,7 @@ Pathload::Pathload(const PathloadConfig& cfg) : cfg_(cfg) {
     throw std::invalid_argument("Pathload: bad resolution");
 }
 
-FleetVerdict Pathload::probe_fleet(probe::ProbeSession& session, double rate_bps) {
+FleetVerdict Pathload::probe_fleet(probe::Transport& transport, double rate_bps) {
   std::size_t increasing = 0;
   std::size_t non_increasing = 0;
   std::size_t usable = 0;
@@ -27,7 +27,7 @@ FleetVerdict Pathload::probe_fleet(probe::ProbeSession& session, double rate_bps
       break;  // estimate() aborts right after; the verdict is discarded
     probe::StreamSpec spec = probe::StreamSpec::periodic(
         rate_bps, cfg_.packet_size, cfg_.packets_per_stream);
-    probe::StreamResult res = session.send_stream_now(spec, cfg_.inter_stream_gap);
+    probe::StreamResult res = transport.send_stream(spec, cfg_.inter_stream_gap);
     if (res.lost_count() * 10 > res.packets.size()) {
       // Loss above 10% is itself a congestion signal (the Pathload
       // paper's rule) — essential with shallow buffers, where the OWD
@@ -65,14 +65,14 @@ std::string_view fleet_verdict_name(FleetVerdict v) {
 
 }  // namespace
 
-Estimate Pathload::do_estimate(probe::ProbeSession& session) {
+Estimate Pathload::do_estimate(probe::Transport& transport) {
   double lo = cfg_.min_rate_bps;   // highest rate verdicted below avail-bw
   double hi = cfg_.max_rate_bps;   // lowest rate verdicted above avail-bw
   double grey_lo = 0.0, grey_hi = 0.0;  // grey-region bounds (0 = unset)
   bool saw_grey = false;
   fleets_used_ = 0;
 
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   guard_ = &guard;
   abort_ = AbortReason::kNone;
 
@@ -92,13 +92,13 @@ Estimate Pathload::do_estimate(probe::ProbeSession& session) {
     }
 
     ++fleets_used_;
-    FleetVerdict verdict = probe_fleet(session, rate);
-    decision(session, "fleet-verdict", fleet_verdict_name(verdict),
+    FleetVerdict verdict = probe_fleet(transport, rate);
+    decision(transport, "fleet-verdict", fleet_verdict_name(verdict),
              fleets_used_, rate, hi - lo);
     if (abort_ != AbortReason::kNone) {
       guard_ = nullptr;
       Estimate e = abort_estimate(abort_, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
     switch (verdict) {
@@ -136,11 +136,11 @@ Estimate Pathload::do_estimate(probe::ProbeSession& session) {
     Estimate e = Estimate::invalid("pathload: search did not converge");
     e.diag("fleets", static_cast<double>(fleets_used_));
     e.diag("grey", saw_grey ? 1.0 : 0.0);
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   Estimate e = Estimate::range(out_lo, out_hi);
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "fleets=" + std::to_string(fleets_used_) +
              (saw_grey ? " grey-region" : "");
   e.diag("fleets", static_cast<double>(fleets_used_));

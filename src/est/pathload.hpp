@@ -47,13 +47,13 @@ class Pathload final : public Estimator {
 
   /// Runs one fleet at `rate_bps` and classifies it.  Exposed for the
   /// ablation bench comparing trend tests against Ro/Ri thresholds.
-  FleetVerdict probe_fleet(probe::ProbeSession& session, double rate_bps);
+  FleetVerdict probe_fleet(probe::Transport& transport, double rate_bps);
 
   /// Number of fleets the last estimate() used.
   std::size_t fleets_used() const { return fleets_used_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   PathloadConfig cfg_;

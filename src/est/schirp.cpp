@@ -38,7 +38,7 @@ std::vector<double> SChirp::smooth(const std::vector<double>& xs,
   return out;
 }
 
-Estimate SChirp::do_estimate(probe::ProbeSession& session) {
+Estimate SChirp::do_estimate(probe::Transport& transport) {
   const PathChirpConfig& cc = cfg_.chirp;
   probe::StreamSpec spec = probe::StreamSpec::chirp(
       cc.low_rate_bps, cc.spread_factor, cc.packet_size, cc.packets_per_chirp);
@@ -51,21 +51,21 @@ Estimate SChirp::do_estimate(probe::ProbeSession& session) {
   }
 
   std::vector<double> per_chirp;
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   for (std::size_t c = 0; c < cc.chirps; ++c) {
     if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
       Estimate e = abort_estimate(r, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
-    probe::StreamResult res = session.send_stream_now(spec, cc.inter_chirp_gap);
+    probe::StreamResult res = transport.send_stream(spec, cc.inter_chirp_gap);
     if (!res.complete()) {
-      decision(session, "chirp", "discarded", c, 0.0);
+      decision(transport, "chirp", "discarded", c, 0.0);
       continue;
     }
     std::vector<double> owds = smooth(res.owds_seconds(), cfg_.smooth_window);
     double e = inner_.analyze_chirp(owds, rates, gaps);
-    decision(session, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
+    decision(transport, "chirp", e > 0.0 ? "usable" : "unusable", c, e);
     if (e > 0.0) per_chirp.push_back(e);
   }
   if (per_chirp.empty()) {
@@ -73,7 +73,7 @@ Estimate SChirp::do_estimate(probe::ProbeSession& session) {
                                    "schirp: no usable chirps");
     e.diag("chirps_used", 0.0);
     e.diag("smooth_window", static_cast<double>(cfg_.smooth_window));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   // Median across chirps: single-chirp excursion analysis is noisy in
@@ -81,7 +81,7 @@ Estimate SChirp::do_estimate(probe::ProbeSession& session) {
   // the robust-location spirit of the smoothed variant extends naturally
   // to the cross-chirp aggregate.
   Estimate e = Estimate::point(stats::median(per_chirp));
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "chirps=" + std::to_string(per_chirp.size()) +
              " smooth=" + std::to_string(cfg_.smooth_window);
   e.diag("chirps_used", static_cast<double>(per_chirp.size()));

@@ -37,7 +37,7 @@ class SChirp final : public Estimator {
                                     std::size_t window);
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   SChirpConfig cfg_;

@@ -16,7 +16,7 @@ Spruce::Spruce(const SpruceConfig& cfg, stats::Rng rng)
     throw std::invalid_argument("Spruce: bad parameters");
 }
 
-Estimate Spruce::do_estimate(probe::ProbeSession& session) {
+Estimate Spruce::do_estimate(probe::Transport& transport) {
   samples_.clear();
   samples_.reserve(cfg_.pair_count);
 
@@ -33,7 +33,7 @@ Estimate Spruce::do_estimate(probe::ProbeSession& session) {
   probe::StreamSpec spec = probe::StreamSpec::pair_train(
       cfg_.tight_capacity_bps, cfg_.packet_size, pairs,
       cfg_.mean_pair_gap, rng_);
-  probe::StreamResult res = session.send_stream_now(spec);
+  probe::StreamResult res = transport.send_stream(spec);
 
   double gin = sim::to_seconds(
       sim::transmission_time(cfg_.packet_size, cfg_.tight_capacity_bps));
@@ -57,11 +57,11 @@ Estimate Spruce::do_estimate(probe::ProbeSession& session) {
                                    "spruce: all pairs lost");
     e.diag("pairs_used", 0.0);
     e.diag("pairs_lost", static_cast<double>(pairs_lost));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   Estimate e = Estimate::point(stats::mean(samples_));
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "pairs=" + std::to_string(samples_.size());
   e.diag("pairs_used", static_cast<double>(samples_.size()));
   e.diag("pairs_lost", static_cast<double>(pairs_lost));

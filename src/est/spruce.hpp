@@ -36,7 +36,7 @@ class Spruce final : public Estimator {
   const std::vector<double>& last_samples() const { return samples_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   SpruceConfig cfg_;

@@ -17,21 +17,21 @@ Topp::Topp(const ToppConfig& cfg, stats::Rng rng) : cfg_(cfg), rng_(std::move(rn
     throw std::invalid_argument("Topp: bad stream parameters");
 }
 
-Estimate Topp::do_estimate(probe::ProbeSession& session) {
+Estimate Topp::do_estimate(probe::Transport& transport) {
   curve_.clear();
   est_capacity_ = 0.0;
 
-  LimitGuard guard(limits_, session);
+  LimitGuard guard(limits_, transport);
   for (double rate = cfg_.min_rate_bps; rate <= cfg_.max_rate_bps;
        rate += cfg_.rate_step_bps) {
     if (AbortReason r = guard.exceeded(); r != AbortReason::kNone) {
       Estimate e = abort_estimate(r, name());
-      e.cost = session.cost();
+      e.cost = transport.cost();
       return e;
     }
     probe::StreamSpec spec = probe::StreamSpec::pair_train(
         rate, cfg_.packet_size, cfg_.pairs_per_rate, cfg_.mean_pair_gap, rng_);
-    probe::StreamResult res = session.send_stream_now(spec);
+    probe::StreamResult res = transport.send_stream(spec);
 
     // Average per-pair Ri/Ro: for a pair, Ri = 8L/g_in and Ro = 8L/g_out,
     // so Ri/Ro = g_out / g_in.
@@ -45,7 +45,7 @@ Estimate Topp::do_estimate(probe::ProbeSession& session) {
       ratio.add(gout / gin);
     }
     if (ratio.count() == 0) continue;
-    decision(session, "rate-point", "measured", curve_.size(), rate,
+    decision(transport, "rate-point", "measured", curve_.size(), rate,
              ratio.mean());
     curve_.push_back({rate, ratio.mean()});
   }
@@ -54,7 +54,7 @@ Estimate Topp::do_estimate(probe::ProbeSession& session) {
     Estimate e = Estimate::aborted(AbortReason::kInsufficientData,
                                    "topp: sweep produced too little data");
     e.diag("rates_measured", static_cast<double>(curve_.size()));
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
 
@@ -105,7 +105,7 @@ Estimate Topp::do_estimate(probe::ProbeSession& session) {
         ct <= 10.0 * cfg_.max_rate_bps) {
       est_capacity_ = ct;
       Estimate e = Estimate::point(a);
-      e.cost = session.cost();
+      e.cost = transport.cost();
       e.detail = "segmented regression: Ct=" + std::to_string(ct / 1e6) + "Mbps";
       e.diag("rates_measured", static_cast<double>(curve_.size()));
       e.diag("capacity_est_bps", ct);
@@ -122,11 +122,11 @@ Estimate Topp::do_estimate(probe::ProbeSession& session) {
     Estimate e = Estimate::invalid("topp: even the lowest rate was distorted");
     e.diag("rates_measured", static_cast<double>(curve_.size()));
     e.diag("fallback", 1.0);
-    e.cost = session.cost();
+    e.cost = transport.cost();
     return e;
   }
   Estimate e = Estimate::point(best);
-  e.cost = session.cost();
+  e.cost = transport.cost();
   e.detail = "threshold fallback (segmented regression unusable)";
   e.diag("rates_measured", static_cast<double>(curve_.size()));
   e.diag("fallback", 1.0);

@@ -57,7 +57,7 @@ class Topp final : public Estimator {
   double estimated_capacity_bps() const { return est_capacity_; }
 
  protected:
-  Estimate do_estimate(probe::ProbeSession& session) override;
+  Estimate do_estimate(probe::Transport& transport) override;
 
  private:
   ToppConfig cfg_;

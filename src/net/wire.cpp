@@ -1,0 +1,98 @@
+#include "net/wire.hpp"
+
+namespace abw::net {
+
+namespace {
+
+void put_u16(unsigned char* b, std::uint16_t v) {
+  b[0] = static_cast<unsigned char>(v);
+  b[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void put_u32(unsigned char* b, std::uint32_t v) {
+  b[0] = static_cast<unsigned char>(v);
+  b[1] = static_cast<unsigned char>(v >> 8);
+  b[2] = static_cast<unsigned char>(v >> 16);
+  b[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void put_u64(unsigned char* b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+  put_u32(b + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_u16(const unsigned char* b) {
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* b) {
+  return static_cast<std::uint64_t>(get_u32(b)) |
+         (static_cast<std::uint64_t>(get_u32(b + 4)) << 32);
+}
+
+}  // namespace
+
+std::string_view abort_code_name(AbortCode c) {
+  switch (c) {
+    case AbortCode::kNone: return "none";
+    case AbortCode::kSessionsFull: return "sessions-full";
+    case AbortCode::kBadVersion: return "bad-version";
+    case AbortCode::kProbeBudget: return "probe-budget";
+    case AbortCode::kDeadline: return "deadline";
+    case AbortCode::kUnknownSession: return "unknown-session";
+  }
+  return "unknown";
+}
+
+void encode_header(const WireHeader& h, unsigned char* buf) {
+  put_u32(buf, h.magic);
+  buf[4] = h.version;
+  buf[5] = h.type;
+  put_u16(buf + 6, h.reserved);
+  put_u64(buf + 8, h.session_id);
+  put_u32(buf + 16, h.stream_id);
+  put_u32(buf + 20, h.seq);
+  put_u64(buf + 24, h.t_ns);
+  put_u32(buf + 32, h.count);
+  put_u32(buf + 36, h.aux);
+}
+
+bool decode_header(const unsigned char* buf, std::size_t len, WireHeader* out) {
+  if (len < kHeaderSize) return false;
+  WireHeader h;
+  h.magic = get_u32(buf);
+  if (h.magic != kMagic) return false;
+  h.version = buf[4];
+  if (h.version != kVersion) return false;
+  h.type = buf[5];
+  h.reserved = get_u16(buf + 6);
+  h.session_id = get_u64(buf + 8);
+  h.stream_id = get_u32(buf + 16);
+  h.seq = get_u32(buf + 20);
+  h.t_ns = get_u64(buf + 24);
+  h.count = get_u32(buf + 32);
+  h.aux = get_u32(buf + 36);
+  *out = h;
+  return true;
+}
+
+void encode_report_record(const ReportRecord& r, unsigned char* buf) {
+  put_u32(buf, r.seq);
+  put_u64(buf + 4, r.recv_ns);
+}
+
+ReportRecord decode_report_record(const unsigned char* buf) {
+  ReportRecord r;
+  r.seq = get_u32(buf);
+  r.recv_ns = get_u64(buf + 4);
+  return r;
+}
+
+}  // namespace abw::net

@@ -1,0 +1,105 @@
+// Wire format of the live measurement protocol ("ABW1"): the datagrams
+// exchanged between a probing client (net::UdpTransport) and the
+// measurement daemon (net::Daemon, "abwd").
+//
+// Every datagram starts with one fixed 40-byte little-endian header.
+// Probe packets are the header padded with zeros up to the StreamSpec's
+// packet size, so the wire footprint matches what the estimator asked
+// for (subject to the kHeaderSize floor).  The receiver's measurements
+// travel back as kReport fragments of (seq, receive-timestamp) records.
+//
+// Timestamps: kProbe.t_ns carries the sender's clock (nanoseconds since
+// the client transport's construction); report records carry the
+// daemon's clock (nanoseconds since the daemon started).  The two clocks
+// are NOT synchronized — the constant offset between them is exactly the
+// probe::ReceiverClock offset the simulator models, and the reason tools
+// analyze relative OWDs only (README "Live measurement").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace abw::net {
+
+/// "ABW1" little-endian.
+inline constexpr std::uint32_t kMagic = 0x31574241u;
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Fixed header size; also the floor on a probe packet's wire size.
+inline constexpr std::size_t kHeaderSize = 40;
+
+/// Largest datagram either side will send or parse.
+inline constexpr std::size_t kMaxDatagram = 65000;
+
+/// One (seq, recv-timestamp) record inside a kReport fragment.
+inline constexpr std::size_t kReportRecordSize = 12;
+
+/// Records per report fragment: fragments stay under a typical 1500-byte
+/// MTU so loopback-sized reports never fragment at the IP layer.
+inline constexpr std::size_t kReportRecordsPerFragment = 113;
+
+/// Datagram types.
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< client -> daemon: open a session (count = probe
+                     ///< budget, t_ns = deadline ns; 0 = unlimited)
+  kHelloAck = 2,     ///< daemon -> client: session_id assigned
+  kHelloReject = 3,  ///< daemon -> client: admission refused (aux = reason)
+  kProbe = 4,        ///< client -> daemon: one probe packet (t_ns = send
+                     ///< stamp, count = packets in stream, padded to size)
+  kStreamEnd = 5,    ///< client -> daemon: stream done, send the report
+                     ///< (count = packets in stream; resent on timeout)
+  kReport = 6,       ///< daemon -> client: one report fragment (seq =
+                     ///< fragment index, count = total fragments, aux =
+                     ///< records in this fragment, t_ns = dup<<32|reorder)
+  kAbort = 7,        ///< daemon -> client: session over budget/deadline
+                     ///< (aux = AbortCode)
+  kBye = 8,          ///< client -> daemon: session closed
+};
+
+/// Why a kHelloReject / kAbort was sent (header.aux).
+enum class AbortCode : std::uint32_t {
+  kNone = 0,
+  kSessionsFull = 1,    ///< HelloReject: daemon at max_sessions
+  kBadVersion = 2,      ///< HelloReject: version mismatch
+  kProbeBudget = 3,     ///< Abort: session exceeded its advertised budget
+  kDeadline = 4,        ///< Abort: session exceeded its advertised deadline
+  kUnknownSession = 5,  ///< Abort: datagram for a session the daemon lost
+};
+
+std::string_view abort_code_name(AbortCode c);
+
+/// The fixed header.  Field meaning is type-specific (see MsgType).
+struct WireHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kVersion;
+  std::uint8_t type = 0;
+  std::uint16_t reserved = 0;
+  std::uint64_t session_id = 0;
+  std::uint32_t stream_id = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::uint32_t count = 0;
+  std::uint32_t aux = 0;
+};
+
+/// One report record: packet `seq` arrived at `recv_ns` (daemon clock).
+struct ReportRecord {
+  std::uint32_t seq = 0;
+  std::uint64_t recv_ns = 0;
+};
+
+/// Serializes `h` into `buf` (>= kHeaderSize bytes), little-endian.
+void encode_header(const WireHeader& h, unsigned char* buf);
+
+/// Parses a header from `buf`; false when the datagram is shorter than a
+/// header or the magic/version do not match.
+bool decode_header(const unsigned char* buf, std::size_t len, WireHeader* out);
+
+/// Serializes one report record into `buf` (>= kReportRecordSize bytes).
+void encode_report_record(const ReportRecord& r, unsigned char* buf);
+
+/// Parses one report record from `buf` (>= kReportRecordSize bytes).
+ReportRecord decode_report_record(const unsigned char* buf);
+
+}  // namespace abw::net

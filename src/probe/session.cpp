@@ -53,7 +53,7 @@ StreamResult ProbeSession::send_stream(const StreamSpec& spec, sim::SimTime star
 
   active_ = &result;
   received_ = 0;
-  highest_seq_seen_ = -1;
+  recv_.reset();
 
   if (trace_) {
     obs::TraceEvent e;
@@ -104,21 +104,8 @@ StreamResult ProbeSession::send_stream_now(const StreamSpec& spec,
 
 void ProbeSession::on_probe(const sim::Packet& pkt, sim::SimTime now) {
   if (active_ == nullptr || pkt.stream_id != active_->stream_id) return;  // stale
-  if (pkt.seq >= active_->packets.size()) return;
-  ProbeRecord& rec = active_->packets[pkt.seq];
-  if (!rec.lost) {
-    // Fault-injected duplicate: the seq already arrived.  Count it (the
-    // stream is degraded) but keep the first copy's timestamp — real
-    // receivers dedup by seq the same way.
-    ++active_->duplicate_count;
-    return;
-  }
-  rec.lost = false;
-  // First arrival behind a higher seq = this packet was reordered.
-  if (static_cast<std::int64_t>(pkt.seq) < highest_seq_seen_)
-    ++active_->reordered_count;
-  else
-    highest_seq_seen_ = static_cast<std::int64_t>(pkt.seq);
+  ProbeRecord* rec = recv_.accept(*active_, pkt.seq);
+  if (rec == nullptr) return;  // out of range, or duplicate (counted)
   // Timestamp against the (possibly unsynchronized, noisy) receiver clock.
   sim::SimTime stamp =
       now + clock_.offset +
@@ -128,7 +115,7 @@ void ProbeSession::on_probe(const sim::Packet& pkt, sim::SimTime now) {
     stamp += sim::from_seconds(clock_rng_.normal() * clock_.jitter_std_seconds);
   if (clock_.quantization > 0)
     stamp -= stamp % clock_.quantization;  // round down to clock ticks
-  rec.received = stamp;
+  rec->received = stamp;
   ++received_;
 }
 

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "obs/trace.hpp"
+#include "probe/receiver_state.hpp"
 #include "probe/stream_result.hpp"
 #include "probe/stream_spec.hpp"
 #include "sim/node.hpp"
@@ -116,7 +117,7 @@ class ProbeSession {
   // In-flight stream state (one stream at a time, like real tools).
   StreamResult* active_ = nullptr;
   std::size_t received_ = 0;
-  std::int64_t highest_seq_seen_ = -1;  // reordering detection (-1 = none)
+  ReceiverState recv_;  // shared dedup/reorder accounting
 
   ProbeCost cost_;
 };

@@ -224,8 +224,8 @@ TEST(Corner, TinyQueueTurnsCongestionIntoLoss) {
   EXPECT_GT(res.lost_count(), 0u);
   est::PathloadConfig pc;
   est::Pathload pl(pc);
-  EXPECT_EQ(pl.probe_fleet(sc.session(), 48e6), est::FleetVerdict::kAboveAvailBw);
-  EXPECT_EQ(pl.probe_fleet(sc.session(), 10e6), est::FleetVerdict::kBelowAvailBw);
+  EXPECT_EQ(pl.probe_fleet(sc.transport(), 48e6), est::FleetVerdict::kAboveAvailBw);
+  EXPECT_EQ(pl.probe_fleet(sc.transport(), 10e6), est::FleetVerdict::kBelowAvailBw);
 }
 
 // ------------------------------------------------- pathchirp edge data ---

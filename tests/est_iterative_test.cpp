@@ -146,8 +146,8 @@ TEST(Pathload, FleetVerdictsSeparateRates) {
   auto sc = cbr_scenario();
   est::PathloadConfig pc;
   est::Pathload pl(pc);
-  EXPECT_EQ(pl.probe_fleet(sc.session(), 40e6), est::FleetVerdict::kAboveAvailBw);
-  EXPECT_EQ(pl.probe_fleet(sc.session(), 10e6), est::FleetVerdict::kBelowAvailBw);
+  EXPECT_EQ(pl.probe_fleet(sc.transport(), 40e6), est::FleetVerdict::kAboveAvailBw);
+  EXPECT_EQ(pl.probe_fleet(sc.transport(), 10e6), est::FleetVerdict::kBelowAvailBw);
 }
 
 TEST(Pathload, RejectsBadConfig) {

@@ -1,0 +1,473 @@
+// The transport-redesign suite (label: live).
+//
+//  * probe::ReceiverState — the ONE dedup/reorder accounting shared by
+//    ProbeSession, MeshScenario, ParallelScenario, and the live daemon.
+//  * SimTransport bit-identity: every tool run through the Transport
+//    interface must produce byte-identical results (Estimate::to_json)
+//    to the historical direct-ProbeSession path.
+//  * The wire protocol (net/wire.hpp) round-trips.
+//  * Live UDP loopback: capacity, spruce, and pathload end-to-end
+//    against an in-process abwd daemon; an all-9-tool sweep asserting
+//    valid-or-structured termination; daemon multiplexing of many
+//    concurrent sessions with no cross-session bleed; admission
+//    rejection beyond max_sessions; and the graceful kDeadline abort
+//    when the peer goes silent.
+//
+// Every socket-touching test skips itself (GTEST_SKIP) when the
+// environment cannot bind a loopback UDP socket.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+#include "est/capacity.hpp"
+#include "est/pathload.hpp"
+#include "est/spruce.hpp"
+#include "net/daemon.hpp"
+#include "net/udp_transport.hpp"
+#include "net/wire.hpp"
+#include "probe/receiver_state.hpp"
+#include "probe/transport.hpp"
+
+using namespace abw;
+
+// ---------------------------------------------------------------------------
+// ReceiverState: the shared accounting
+
+namespace {
+
+probe::StreamResult make_result(std::size_t n) {
+  probe::StreamResult r;
+  r.stream_id = 1;
+  r.packets.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.packets[i].seq = static_cast<std::uint32_t>(i);
+    r.packets[i].lost = true;
+  }
+  return r;
+}
+
+}  // namespace
+
+TEST(ReceiverState, InOrderDeliveryAcceptsAll) {
+  probe::StreamResult r = make_result(5);
+  probe::ReceiverState rs;
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    probe::ProbeRecord* rec = rs.accept(r, s);
+    ASSERT_NE(rec, nullptr);
+    rec->received = 100 + s;
+  }
+  EXPECT_EQ(r.duplicate_count, 0u);
+  EXPECT_EQ(r.reordered_count, 0u);
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(ReceiverState, DuplicatesCountedAndRejected) {
+  probe::StreamResult r = make_result(3);
+  probe::ReceiverState rs;
+  ASSERT_NE(rs.accept(r, 1), nullptr);
+  EXPECT_EQ(rs.accept(r, 1), nullptr);  // dup of a received seq
+  EXPECT_EQ(rs.accept(r, 1), nullptr);
+  EXPECT_EQ(r.duplicate_count, 2u);
+  EXPECT_EQ(r.reordered_count, 0u);
+}
+
+TEST(ReceiverState, ReorderCountsFirstArrivalBehindHigherSeq) {
+  probe::StreamResult r = make_result(4);
+  probe::ReceiverState rs;
+  ASSERT_NE(rs.accept(r, 0), nullptr);
+  ASSERT_NE(rs.accept(r, 2), nullptr);  // 1 skipped
+  ASSERT_NE(rs.accept(r, 1), nullptr);  // late: reordered
+  ASSERT_NE(rs.accept(r, 3), nullptr);
+  EXPECT_EQ(r.reordered_count, 1u);
+  EXPECT_EQ(r.duplicate_count, 0u);
+}
+
+TEST(ReceiverState, OutOfRangeSeqIgnored) {
+  probe::StreamResult r = make_result(2);
+  probe::ReceiverState rs;
+  EXPECT_EQ(rs.accept(r, 7), nullptr);
+  EXPECT_EQ(r.duplicate_count, 0u);
+  EXPECT_EQ(r.lost_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// SimTransport bit-identity: Transport path == historical session path
+
+namespace {
+
+core::Scenario twin_scenario() {
+  core::SingleHopConfig cfg;  // paper defaults: 50M capacity, 25M cross
+  cfg.seed = 11;
+  return core::Scenario::single_hop(cfg);
+}
+
+core::ToolOptions twin_options() {
+  core::ToolOptions o;
+  o.tight_capacity_bps = 50e6;
+  o.min_rate_bps = 2e6;
+  o.max_rate_bps = 49e6;
+  return o;
+}
+
+}  // namespace
+
+TEST(SimTransportIdentity, EveryToolBitIdenticalToSessionPath) {
+  for (const std::string& name : core::available_tools()) {
+    core::Scenario sc_session = twin_scenario();
+    core::Scenario sc_transport = twin_scenario();
+    stats::Rng rng_a(99), rng_b(99);
+    auto tool_a = core::make_estimator(name, twin_options(), rng_a);
+    auto tool_b = core::make_estimator(name, twin_options(), rng_b);
+
+    // Historical path: the deprecated ProbeSession& overload.
+    est::Estimate via_session = tool_a->estimate(sc_session.session());
+    // Redesigned path: the Transport& interface.
+    est::Estimate via_transport = tool_b->estimate(sc_transport.transport());
+
+    EXPECT_EQ(via_session.to_json(), via_transport.to_json())
+        << "tool " << name << " diverged between session and transport paths";
+  }
+}
+
+TEST(SimTransportIdentity, CapacityEstimatorBitIdentical) {
+  core::Scenario sc_a = twin_scenario();
+  core::Scenario sc_b = twin_scenario();
+  est::CapacityConfig cfg;
+  cfg.pair_count = 60;
+  est::CapacityEstimator cap_a(cfg, stats::Rng(7));
+  est::CapacityEstimator cap_b(cfg, stats::Rng(7));
+  double via_session = cap_a.estimate_capacity(sc_a.session());
+  double via_transport = cap_b.estimate_capacity(sc_b.transport());
+  EXPECT_EQ(via_session, via_transport);
+}
+
+TEST(SimTransport, ExposesSessionAndClock) {
+  core::Scenario sc = twin_scenario();
+  probe::SimTransport& t = sc.transport();
+  EXPECT_EQ(t.kind(), "sim");
+  EXPECT_EQ(t.sim_session(), &sc.session());
+  sim::SimTime before = t.now();
+  t.wait(5 * sim::kMillisecond);
+  EXPECT_EQ(t.now(), before + 5 * sim::kMillisecond);
+  EXPECT_EQ(&t, &sc.transport());  // stable accessor
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(Wire, HeaderRoundTrips) {
+  net::WireHeader h;
+  h.type = static_cast<std::uint8_t>(net::MsgType::kProbe);
+  h.session_id = 0x1122334455667788ull;
+  h.stream_id = 42;
+  h.seq = 7;
+  h.t_ns = 0xCAFEBABEDEADBEEFull;
+  h.count = 300;
+  h.aux = 1234;
+  unsigned char buf[net::kHeaderSize];
+  net::encode_header(h, buf);
+  net::WireHeader d;
+  ASSERT_TRUE(net::decode_header(buf, sizeof(buf), &d));
+  EXPECT_EQ(d.type, h.type);
+  EXPECT_EQ(d.session_id, h.session_id);
+  EXPECT_EQ(d.stream_id, h.stream_id);
+  EXPECT_EQ(d.seq, h.seq);
+  EXPECT_EQ(d.t_ns, h.t_ns);
+  EXPECT_EQ(d.count, h.count);
+  EXPECT_EQ(d.aux, h.aux);
+}
+
+TEST(Wire, RejectsShortAndForeignDatagrams) {
+  unsigned char buf[net::kHeaderSize] = {0};
+  net::WireHeader d;
+  EXPECT_FALSE(net::decode_header(buf, 10, &d));   // short
+  EXPECT_FALSE(net::decode_header(buf, sizeof(buf), &d));  // bad magic
+}
+
+TEST(Wire, ReportRecordRoundTrips) {
+  net::ReportRecord r{77, 123456789012345ull};
+  unsigned char buf[net::kReportRecordSize];
+  net::encode_report_record(r, buf);
+  net::ReportRecord d = net::decode_report_record(buf);
+  EXPECT_EQ(d.seq, r.seq);
+  EXPECT_EQ(d.recv_ns, r.recv_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Live UDP loopback
+
+namespace {
+
+// Daemon factory that doubles as the capability probe: when loopback UDP
+// is unavailable in this environment, tests skip.
+std::unique_ptr<net::Daemon> try_daemon(net::DaemonConfig cfg = {}) {
+  try {
+    auto d = std::make_unique<net::Daemon>(cfg);
+    d->start();
+    return d;
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+net::UdpTransportConfig client_config(const net::Daemon& daemon) {
+  net::UdpTransportConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = daemon.port();
+  return cfg;
+}
+
+#define REQUIRE_SOCKETS(daemon_ptr)                               \
+  if ((daemon_ptr) == nullptr)                                    \
+  GTEST_SKIP() << "loopback UDP sockets unavailable in this environment"
+
+}  // namespace
+
+TEST(UdpLoopback, StreamRoundTripMeasuresEveryPacket) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  net::UdpTransport t(client_config(*daemon));
+  probe::StreamSpec spec = probe::StreamSpec::periodic(10e6, 500, 50);
+  probe::StreamResult res = t.send_stream(spec, sim::kMillisecond);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(res.packets.size(), 50u);
+  EXPECT_EQ(res.lost_count(), 0u) << "loopback should not lose probes";
+  EXPECT_EQ(res.duplicate_count, 0u);
+  // Send stamps must be the actual paced times: strictly increasing.
+  for (std::size_t i = 1; i < res.packets.size(); ++i)
+    EXPECT_GT(res.packets[i].sent, res.packets[i - 1].sent);
+  // Receive stamps come from the daemon clock: nondecreasing on loopback
+  // (same socket, FIFO).
+  for (std::size_t i = 1; i < res.packets.size(); ++i)
+    EXPECT_GE(res.packets[i].received, res.packets[i - 1].received);
+  EXPECT_GT(res.output_rate_bps(), 0.0);
+  EXPECT_EQ(t.cost().packets, 50u);
+  EXPECT_EQ(t.cost().streams, 1u);
+}
+
+TEST(UdpLoopback, CapacityEstimatorEndToEnd) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  net::UdpTransport t(client_config(*daemon));
+  est::CapacityConfig cfg;
+  cfg.pair_count = 40;
+  cfg.mean_pair_gap = 2 * sim::kMillisecond;
+  est::CapacityEstimator cap(cfg, stats::Rng(3));
+  double cn = cap.estimate_capacity(t);
+  // Loopback "capacity" is whatever the stack dispatches back-to-back
+  // sends at — only positivity and sanity are meaningful.
+  EXPECT_GT(cn, 0.0);
+  EXPECT_EQ(cap.last_samples().size(), 40u);
+}
+
+TEST(UdpLoopback, SpruceEndToEnd) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  net::UdpTransport t(client_config(*daemon));
+  est::SpruceConfig cfg;
+  cfg.tight_capacity_bps = 1e9;
+  cfg.pair_count = 60;
+  cfg.mean_pair_gap = 2 * sim::kMillisecond;
+  est::Spruce spruce(cfg, stats::Rng(5));
+  est::Estimate e = spruce.estimate(t);
+  ASSERT_TRUE(e.valid) << e.detail;
+  EXPECT_GT(e.point_bps(), 0.0);
+  EXPECT_LE(e.point_bps(), 1e9);
+  EXPECT_EQ(e.cost.packets, 120u);
+}
+
+TEST(UdpLoopback, PathloadEndToEnd) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  net::UdpTransport t(client_config(*daemon));
+  est::PathloadConfig cfg;
+  cfg.min_rate_bps = 20e6;
+  cfg.max_rate_bps = 400e6;
+  cfg.packets_per_stream = 50;
+  cfg.streams_per_fleet = 3;
+  cfg.inter_stream_gap = 2 * sim::kMillisecond;
+  cfg.resolution_bps = 50e6;
+  cfg.max_fleets = 8;
+  est::Pathload pl(cfg);
+  est::Estimate e = pl.estimate(t);
+  // Loopback has no controlled avail-bw; the contract is structured
+  // termination: a range, or an explicit non-convergence/abort.
+  if (e.valid) {
+    EXPECT_GT(e.high_bps, 0.0);
+    EXPECT_LE(e.low_bps, e.high_bps);
+  } else {
+    EXPECT_FALSE(e.detail.empty());
+  }
+  EXPECT_GT(e.cost.packets, 0u);
+}
+
+TEST(UdpLoopback, AllNineToolsTerminateStructured) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  for (const std::string& name : core::available_tools()) {
+    net::UdpTransportConfig tcfg = client_config(*daemon);
+    tcfg.advertise_budget_packets = 30000;
+    tcfg.advertise_deadline = 8 * sim::kSecond;
+    net::UdpTransport t(tcfg);
+
+    core::ToolOptions opts;
+    opts.tight_capacity_bps = 1e9;
+    opts.min_rate_bps = 50e6;
+    opts.max_rate_bps = 500e6;
+    opts.repetitions = 6;
+    opts.limits.max_probe_packets = 30000;
+    opts.limits.deadline = 8 * sim::kSecond;
+    stats::Rng rng(17);
+    auto tool = core::make_estimator(name, opts, rng);
+    est::Estimate e = tool->estimate(t);
+
+    // Valid estimate, or a structured abort/invalid with a reason —
+    // never a hang (the ctest timeout is the backstop) or empty result.
+    if (e.valid) {
+      EXPECT_GT(e.high_bps, 0.0) << name;
+    } else {
+      EXPECT_TRUE(e.abort != est::AbortReason::kNone || !e.detail.empty())
+          << name << " returned an unstructured failure";
+    }
+    EXPECT_GT(e.cost.packets, 0u) << name;
+    // The guard is checked between streams, so the budget can overshoot
+    // by at most one stream (bfind's 500 ms steps are the largest).
+    EXPECT_LE(e.cost.packets, 2u * 30000u)
+        << name << " blew through its probe budget";
+  }
+  EXPECT_EQ(daemon->stats().sessions_admitted,
+            core::available_tools().size());
+}
+
+TEST(UdpLoopback, DaemonMultiplexesConcurrentSessions) {
+  net::DaemonConfig dcfg;
+  dcfg.max_sessions = 32;
+  auto daemon = try_daemon(dcfg);
+  REQUIRE_SOCKETS(daemon);
+
+  constexpr int kClients = 8;
+  constexpr int kStreams = 3;
+  constexpr std::size_t kPackets = 40;
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> session_ids(kClients, 0);
+  std::atomic<int> failures{0};
+
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::UdpTransport t(client_config(*daemon));
+        // Distinct packet size per client: a report bleeding across
+        // sessions would surface as a count/size mismatch below.
+        std::uint32_t size = 200 + 100 * static_cast<std::uint32_t>(c);
+        for (int s = 0; s < kStreams; ++s) {
+          probe::StreamSpec spec =
+              probe::StreamSpec::periodic(5e6, size, kPackets);
+          probe::StreamResult res = t.send_stream(spec, sim::kMillisecond);
+          if (res.packets.size() != kPackets) ++failures;
+          if (res.lost_count() != 0) ++failures;
+          if (res.duplicate_count != 0) ++failures;
+          for (const probe::ProbeRecord& rec : res.packets)
+            if (rec.size_bytes != size) ++failures;
+        }
+        session_ids[c] = t.session_id();
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Every client got its own session, and they never collided.
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_NE(session_ids[c], 0u) << "client " << c << " never connected";
+    for (int d = c + 1; d < kClients; ++d)
+      EXPECT_NE(session_ids[c], session_ids[d]);
+  }
+  net::DaemonStats stats = daemon->stats();
+  EXPECT_EQ(stats.sessions_admitted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.probes_in,
+            static_cast<std::uint64_t>(kClients) * kStreams * kPackets);
+}
+
+TEST(UdpLoopback, HelloRejectBeyondMaxSessions) {
+  net::DaemonConfig dcfg;
+  dcfg.max_sessions = 1;
+  auto daemon = try_daemon(dcfg);
+  REQUIRE_SOCKETS(daemon);
+
+  net::UdpTransport first(client_config(*daemon));
+  probe::StreamSpec spec = probe::StreamSpec::periodic(5e6, 300, 10);
+  probe::StreamResult ok = first.send_stream(spec, sim::kMillisecond);
+  EXPECT_EQ(ok.lost_count(), 0u);
+
+  net::UdpTransportConfig cfg2 = client_config(*daemon);
+  cfg2.hello_retries = 2;
+  cfg2.hello_timeout = 50 * sim::kMillisecond;
+  net::UdpTransport second(cfg2);
+  probe::StreamResult rejected = second.send_stream(spec, sim::kMillisecond);
+  EXPECT_FALSE(second.connected());
+  EXPECT_EQ(rejected.lost_count(), rejected.packets.size());
+  EXPECT_GE(daemon->stats().sessions_rejected, 1u);
+}
+
+TEST(UdpLoopback, SilentPeerTripsDeadlineAbort) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+
+  net::UdpTransportConfig tcfg = client_config(*daemon);
+  tcfg.report_timeout = 100 * sim::kMillisecond;
+  tcfg.report_retries = 2;
+  net::UdpTransport t(tcfg);
+
+  // Establish the session while the daemon is alive...
+  probe::StreamSpec warm = probe::StreamSpec::periodic(5e6, 300, 5);
+  probe::StreamResult ok = t.send_stream(warm, sim::kMillisecond);
+  ASSERT_TRUE(t.connected());
+  ASSERT_EQ(ok.lost_count(), 0u);
+
+  // ...then the peer goes silent mid-measurement.
+  daemon->stop();
+  daemon.reset();
+
+  est::PathloadConfig cfg;
+  cfg.min_rate_bps = 20e6;
+  cfg.max_rate_bps = 200e6;
+  cfg.packets_per_stream = 20;
+  cfg.streams_per_fleet = 2;
+  cfg.inter_stream_gap = sim::kMillisecond;
+  est::Pathload pl(cfg);
+  est::EstimatorLimits limits;
+  limits.deadline = 300 * sim::kMillisecond;
+  pl.set_limits(limits);
+
+  est::Estimate e = pl.estimate(t);
+  EXPECT_FALSE(e.valid);
+  EXPECT_EQ(e.abort, est::AbortReason::kDeadline)
+      << "expected the deadline guard to fire, got: " << e.detail;
+}
+
+TEST(UdpLoopback, DaemonExportsObsTraceAndMetrics) {
+  auto daemon = try_daemon();
+  REQUIRE_SOCKETS(daemon);
+  obs::NullTraceSink sink;
+  daemon->set_trace(&sink);
+
+  net::UdpTransport t(client_config(*daemon));
+  probe::StreamSpec spec = probe::StreamSpec::periodic(5e6, 300, 10);
+  (void)t.send_stream(spec, sim::kMillisecond);
+
+  obs::MetricsRegistry m;
+  daemon->snapshot_metrics(m);
+  EXPECT_EQ(m.counter("abwd.sessions_admitted").value, 1u);
+  EXPECT_EQ(m.counter("abwd.probes_in").value, 10u);
+  EXPECT_EQ(m.counter("abwd.reports_sent").value, 1u);
+  daemon->set_trace(nullptr);
+  EXPECT_GE(sink.events(), 2u);  // hello + report at minimum
+}
